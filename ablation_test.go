@@ -1,0 +1,208 @@
+// Ablation benchmarks: quantify the design choices DESIGN.md §5 calls out
+// by toggling them — checkpoint cadence, per-op WAL fsync, the summary
+// phase of replication, and field-level merge.
+package domino_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	domino "repro"
+	"repro/internal/repl"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// BenchmarkAblationCheckpointInterval sweeps the auto-checkpoint cadence:
+// frequent checkpoints bound recovery time but tax every Nth write with a
+// full page flush.
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	for _, every := range []int{256, 2048, 16384, -1} {
+		name := fmt.Sprint(every)
+		if every < 0 {
+			name = "never"
+		}
+		b.Run("every="+name, func(b *testing.B) {
+			db, err := domino.Open(filepath.Join(b.TempDir(), "a.nsf"), domino.Options{
+				Store: store.Options{CheckpointEvery: every},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			g := workload.New(20)
+			sess := db.Session("bench")
+			docs := g.Corpus(b.N, 512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Create(docs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWALSync compares default (buffered) WAL writes against
+// fsync-per-operation durability.
+func BenchmarkAblationWALSync(b *testing.B) {
+	for _, sync := range []bool{false, true} {
+		b.Run(fmt.Sprintf("fsync=%v", sync), func(b *testing.B) {
+			db, err := domino.Open(filepath.Join(b.TempDir(), "a.nsf"), domino.Options{
+				Store: store.Options{SyncWAL: sync},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			g := workload.New(21)
+			sess := db.Session("bench")
+			docs := g.Corpus(b.N, 512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Create(docs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSummaryPhase isolates the value of the cheap summary
+// exchange: incremental replication of an unchanged 2000-doc pair versus
+// the full-copy baseline that refetches everything.
+func BenchmarkAblationSummaryPhase(b *testing.B) {
+	setup := func(b *testing.B) (*domino.Database, *domino.Database) {
+		replica := domino.NewReplicaID()
+		a, err := domino.Open(filepath.Join(b.TempDir(), "a.nsf"), domino.Options{ReplicaID: replica})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { a.Close() })
+		c, err := domino.Open(filepath.Join(b.TempDir(), "c.nsf"), domino.Options{ReplicaID: replica})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		g := workload.New(22)
+		sess := a.Session("bench")
+		for _, n := range g.Corpus(2000, 512) {
+			if err := sess.Create(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := domino.Replicate(c, &domino.LocalPeer{DB: a},
+			domino.ReplicationOptions{PeerName: "a"}); err != nil {
+			b.Fatal(err)
+		}
+		return a, c
+	}
+	b.Run("with-summaries", func(b *testing.B) {
+		a, c := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := domino.Replicate(c, &domino.LocalPeer{DB: a},
+				domino.ReplicationOptions{PeerName: "a"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-copy", func(b *testing.B) {
+		a, c := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := repl.FullCopy(c, &repl.LocalPeer{DB: a}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFTPersistence compares enabling full-text on a database
+// cold (tokenize everything) versus warm (load the sidecar snapshot and
+// catch up) — the payoff of persisting the index.
+func BenchmarkAblationFTPersistence(b *testing.B) {
+	setup := func(b *testing.B, warm bool) string {
+		path := filepath.Join(b.TempDir(), "ft.nsf")
+		db, err := domino.Open(path, domino.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := workload.New(24)
+		sess := db.Session("bench")
+		for _, n := range g.Corpus(10000, 512) {
+			if err := sess.Create(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if warm {
+			if err := db.EnableFullText(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil { // writes the sidecar when enabled
+			b.Fatal(err)
+		}
+		return path
+	}
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"cold-rebuild", false}, {"warm-sidecar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			path := setup(b, mode.warm)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := domino.Open(path, domino.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.EnableFullText(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db.Close() // writes the sidecar
+				if !mode.warm {
+					// Cold mode must start every iteration without one.
+					os.Remove(path + ".ft")
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCacheCap sweeps the buffer pool size against a working
+// set that does not fit the smallest setting.
+func BenchmarkAblationCacheCap(b *testing.B) {
+	for _, capPages := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("pages=%d", capPages), func(b *testing.B) {
+			db, err := domino.Open(filepath.Join(b.TempDir(), "a.nsf"), domino.Options{
+				Store: store.Options{CacheCap: capPages, CheckpointEvery: 512},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			g := workload.New(23)
+			sess := db.Session("bench")
+			docs := g.Corpus(3000, 512)
+			for _, n := range docs {
+				if err := sess.Create(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Get(docs[(i*37)%len(docs)].OID.UNID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

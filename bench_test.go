@@ -1,0 +1,443 @@
+// Benchmark harness regenerating the experiment suite from DESIGN.md §3.
+// Each Benchmark function is one table/figure series; cmd/experiments
+// renders the same measurements as the tables recorded in EXPERIMENTS.md.
+package domino_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	domino "repro"
+	"repro/internal/ft"
+	"repro/internal/repl"
+	"repro/internal/router"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// storeNoCheckpoint disables automatic checkpoints so a reopen replays the
+// whole WAL (the simulated-crash configuration for T4).
+func storeNoCheckpoint() store.Options { return store.Options{CheckpointEvery: -1} }
+
+func openBench(b *testing.B, replica domino.ReplicaID) *domino.Database {
+	b.Helper()
+	db, err := domino.Open(filepath.Join(b.TempDir(), "bench.nsf"),
+		domino.Options{Title: "bench", ReplicaID: replica})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func seed(b *testing.B, db *domino.Database, count, bodyBytes int) []*domino.Note {
+	b.Helper()
+	g := workload.New(1)
+	sess := db.Session("bench")
+	docs := g.Corpus(count, bodyBytes)
+	for _, n := range docs {
+		if err := sess.Create(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return docs
+}
+
+// --- T1: note CRUD throughput vs document size ---
+
+func BenchmarkT1Create(b *testing.B) {
+	for _, size := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("body=%dB", size), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			g := workload.New(2)
+			docs := g.Corpus(b.N, size)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Create(docs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkT1Read(b *testing.B) {
+	for _, size := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("body=%dB", size), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			docs := seed(b, db, 1000, size)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Get(docs[i%len(docs)].OID.UNID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkT1Update(b *testing.B) {
+	for _, size := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("body=%dB", size), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			docs := seed(b, db, 1000, size)
+			g := workload.New(3)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := docs[i%len(docs)]
+				g.Mutate(n)
+				if err := sess.Update(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkT1Delete(b *testing.B) {
+	db := openBench(b, domino.NewReplicaID())
+	docs := seed(b, db, b.N, 512)
+	sess := db.Session("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Delete(docs[i].OID.UNID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T2: incremental view update vs full rebuild ---
+
+func viewedDB(b *testing.B, n int) (*domino.Database, []*domino.Note) {
+	db := openBench(b, domino.NewReplicaID())
+	docs := seed(b, db, n, 512)
+	def, err := domino.NewView("bycat", "SELECT @All",
+		domino.ViewColumn{Title: "Category", ItemName: "Category", Sorted: true},
+		domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.AddView(nil, def); err != nil {
+		b.Fatal(err)
+	}
+	return db, docs
+}
+
+func BenchmarkT2ViewIncremental(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			db, docs := viewedDB(b, n)
+			g := workload.New(4)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := docs[i%len(docs)]
+				g.Mutate(d)
+				if err := sess.Update(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkT2ViewRebuild(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			db, _ := viewedDB(b, n)
+			ix, _ := db.View("bycat")
+			_ = ix
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Re-register the view, forcing a rebuild from the store.
+				def := ix.Definition()
+				if err := db.AddView(nil, def); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F1: incremental replication vs full copy at varying deltas ---
+
+func replicatedPair(b *testing.B, corpus int) (*domino.Database, *domino.Database, []*domino.Note) {
+	replica := domino.NewReplicaID()
+	a := openBench(b, replica)
+	c, err := domino.Open(filepath.Join(b.TempDir(), "b.nsf"),
+		domino.Options{Title: "b", ReplicaID: replica})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	docs := seed(b, a, corpus, 512)
+	if _, err := domino.Replicate(c, &domino.LocalPeer{DB: a},
+		domino.ReplicationOptions{PeerName: "a"}); err != nil {
+		b.Fatal(err)
+	}
+	return a, c, docs
+}
+
+func BenchmarkF1ReplicationIncremental(b *testing.B) {
+	const corpus = 2000
+	for _, pct := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("delta=%d%%", pct), func(b *testing.B) {
+			a, c, docs := replicatedPair(b, corpus)
+			g := workload.New(5)
+			sess := a.Session("bench")
+			delta := corpus * pct / 100
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < delta; j++ {
+					d := docs[(i*delta+j)%len(docs)]
+					g.Mutate(d)
+					if err := sess.Update(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := domino.Replicate(c, &domino.LocalPeer{DB: a},
+					domino.ReplicationOptions{PeerName: "a"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkF1ReplicationFullCopy(b *testing.B) {
+	const corpus = 2000
+	a, c, _ := replicatedPair(b, corpus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repl.FullCopy(c, &repl.LocalPeer{DB: a}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F2: conflict detection and resolution throughput ---
+
+func BenchmarkF2ConflictApply(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		merge bool
+	}{{"conflictdocs", false}, {"fieldmerge", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			replica := domino.NewReplicaID()
+			a := openBench(b, replica)
+			docs := seed(b, a, 1000, 512)
+			sess := a.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Build a synthetic concurrent edit: same seq, later time,
+				// touching a disjoint item (mergeable) to exercise the
+				// conflict path end to end.
+				local := docs[i%len(docs)]
+				remote := local.Clone()
+				remote.SetText("RemoteItem", fmt.Sprint(i))
+				for k := range remote.Items {
+					if remote.Items[k].Name == "RemoteItem" {
+						remote.Items[k].Rev = remote.OID.Seq
+					}
+				}
+				remote.OID.SeqTime = a.Clock().Now()
+				if _, err := repl.ApplyNote(a, remote, repl.ApplyOptions{FieldMerge: mode.merge}); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				// Restore the local version so the next iteration conflicts
+				// again.
+				if err := sess.Update(local); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// --- F3: full-text query latency, indexed vs scan ---
+
+func BenchmarkF3FullTextIndexed(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			seed(b, db, n, 512)
+			if err := db.EnableFullText(); err != nil {
+				b.Fatal(err)
+			}
+			queries := workload.New(6).Queries(64)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Search(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkF3FullTextScan(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("docs=%d", n), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			seed(b, db, n, 512)
+			queries := workload.New(6).Queries(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ft.ScanSearch(queries[i%len(queries)], db.ScanAll); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T4: crash recovery time vs operations since the last checkpoint ---
+
+func BenchmarkT4Recovery(b *testing.B) {
+	for _, ops := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "crash.nsf")
+			db, err := domino.Open(path, domino.Options{
+				Title: "crash",
+				Store: storeNoCheckpoint(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := workload.New(7)
+			sess := db.Session("bench")
+			for i := 0; i < ops; i++ {
+				if err := sess.Create(g.Document(512)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Abandon db without Close: the page file was never flushed, so
+			// reopening replays all ops from the WAL.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db2, err := domino.Open(path, domino.Options{Store: storeNoCheckpoint()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db2.Close()
+				// Closing checkpointed; recreate the crashed state for the
+				// next iteration only if more iterations remain.
+				if i+1 < b.N {
+					db3, err := domino.Open(path, domino.Options{Store: storeNoCheckpoint()})
+					if err != nil {
+						b.Fatal(err)
+					}
+					s3 := db3.Session("bench")
+					for j := 0; j < ops; j++ {
+						if err := s3.Create(g.Document(512)); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Abandon again.
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// --- T5: Reader-field enforcement overhead on view reads ---
+
+func BenchmarkT5Readers(b *testing.B) {
+	for _, pct := range []int{0, 50, 95} {
+		b.Run(fmt.Sprintf("restricted=%d%%", pct), func(b *testing.B) {
+			db := openBench(b, domino.NewReplicaID())
+			g := workload.New(8)
+			sess := db.Session("bench")
+			for i := 0; i < 5000; i++ {
+				n := g.Document(256)
+				if i*100/5000 < pct {
+					n.SetWithFlags("DocReaders", domino.TextValue("somebody else"),
+						domino.FlagReaders|domino.FlagSummary)
+				}
+				if err := sess.Create(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			def, _ := domino.NewView("v", "SELECT @All",
+				domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true})
+			if err := db.AddView(nil, def); err != nil {
+				b.Fatal(err)
+			}
+			reader := db.Session("reader")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reader.Rows("v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T6: mail routing throughput (local delivery) ---
+
+func BenchmarkT6Routing(b *testing.B) {
+	d := domino.NewDirectory()
+	d.AddUser(domino.User{Name: "ada", MailFile: "mail/ada.nsf"})
+	mailbox := openBench(b, domino.NewReplicaID())
+	inbox := openBench(b, domino.NewReplicaID())
+	r := &domino.Router{
+		ServerName:   "local",
+		Mailbox:      mailbox,
+		Directory:    d,
+		OpenMailFile: func(string) (*domino.Database, error) { return inbox, nil },
+	}
+	g := workload.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		msg := g.Document(512)
+		msg.SetText(router.ItemSendTo, "ada")
+		if err := r.Deposit(msg); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := r.RouteOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- T7: formula evaluation cost by complexity ---
+
+func BenchmarkT7Formula(b *testing.B) {
+	cases := []struct{ name, src string }{
+		{"simple", `SELECT Form = "Memo"`},
+		{"medium", `SELECT Form = "Memo" & Priority > 3 & @Contains(Subject; "report")`},
+		{"complex", `x := @UpperCase(@Left(Subject; 10));
+			y := @If(Priority > 5; "high"; Priority > 2; "mid"; "low");
+			SELECT @Begins(x; "A") | (y = "high" & @Elements(@Explode(Body; " ")) > 20)`},
+	}
+	g := workload.New(10)
+	docs := g.Corpus(256, 512)
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			f, err := domino.CompileFormula(tc.src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Selects(docs[i%len(docs)], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

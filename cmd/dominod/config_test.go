@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeConf(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "server.conf")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseConfigFull(t *testing.T) {
+	path := writeConf(t, `
+# a comment
+name   hub
+data   /tmp/data
+listen 0.0.0.0:1352
+secret s3cret
+user   ada pw mail/ada.nsf
+user   bob pw2 mail/bob.nsf spoke
+user   hub hubsecret
+group  team ada,bob
+db     apps/app.nsf The App Title
+peer   spoke 10.0.0.2:1352
+replicate spoke apps/app.nsf 30s
+route  10s
+cluster spoke
+catalog 5m
+`)
+	cfg, err := parseConfig(path)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.name != "hub" || cfg.data != "/tmp/data" || cfg.listen != "0.0.0.0:1352" || cfg.secret != "s3cret" {
+		t.Errorf("basics wrong: %+v", cfg)
+	}
+	u, ok := cfg.directory.Lookup("bob")
+	if !ok || u.MailServer != "spoke" || u.MailFile != "mail/bob.nsf" {
+		t.Errorf("bob = %+v, %v", u, ok)
+	}
+	if groups := cfg.directory.GroupsOf("ada"); len(groups) != 1 || groups[0] != "team" {
+		t.Errorf("ada groups = %v", groups)
+	}
+	if len(cfg.preopen) != 1 || cfg.preopen[0][0] != "apps/app.nsf" || cfg.preopen[0][1] != "The App Title" {
+		t.Errorf("preopen = %v", cfg.preopen)
+	}
+	if cfg.peers["spoke"] != "10.0.0.2:1352" {
+		t.Errorf("peers = %v", cfg.peers)
+	}
+	if len(cfg.jobs) != 1 || cfg.jobs[0].interval != 30*time.Second {
+		t.Errorf("jobs = %+v", cfg.jobs)
+	}
+	if cfg.routeTick != 10*time.Second || cfg.catalogTick != 5*time.Minute {
+		t.Errorf("ticks = %v %v", cfg.routeTick, cfg.catalogTick)
+	}
+	if len(cfg.clusterWith) != 1 || cfg.clusterWith[0] != "spoke" {
+		t.Errorf("cluster = %v", cfg.clusterWith)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"missing name", "data /tmp\n"},
+		{"missing data", "name x\n"},
+		{"bad directive", "name x\ndata /tmp\nbogus 1\n"},
+		{"bad duration", "name x\ndata /tmp\nroute soon\n"},
+		{"user too few", "name x\ndata /tmp\nuser onlyname\n"},
+		{"group args", "name x\ndata /tmp\ngroup g\n"},
+		{"replicate args", "name x\ndata /tmp\nreplicate spoke db.nsf\n"},
+		{"dup user-group", "name x\ndata /tmp\nuser team pw\ngroup team a\n"},
+	}
+	for _, tc := range cases {
+		path := writeConf(t, tc.body)
+		if _, err := parseConfig(path); err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+	if _, err := parseConfig(filepath.Join(t.TempDir(), "missing.conf")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

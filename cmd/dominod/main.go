@@ -1,0 +1,362 @@
+// Command dominod runs a Domino-style server: it serves a data directory of
+// NSF databases over the wire protocol and runs the router and replicator
+// background tasks described by its configuration file.
+//
+// Usage:
+//
+//	dominod -config server.conf
+//
+// Configuration file format (one directive per line, '#' comments):
+//
+//	name   hub                              # server name (must be a user)
+//	data   /var/domino/data                 # data directory
+//	listen 0.0.0.0:1352                     # bind address
+//	secret srv-secret                       # this server's peer secret
+//	user   ada pw-ada mail/ada.nsf          # name secret [mailfile [server]]
+//	user   bob pw-bob mail/bob.nsf spoke
+//	group  supporters ada,bob
+//	db     apps/tickets.nsf Helpdesk        # pre-open path [title]
+//	peer   spoke 10.0.0.2:1352              # peer name and address
+//	replicate spoke apps/tickets.nsf 30s    # periodic replication job
+//	route  10s                              # router interval
+//	cluster spoke                           # event-driven push to this peer
+//	catalog 5m                              # catalog refresh interval
+//	agent  apps/tickets.nsf escalate 1m     # run a stored agent on a schedule
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	domino "repro"
+	"repro/internal/repl"
+)
+
+type replicaJob struct {
+	peer     string
+	dbPath   string
+	interval time.Duration
+}
+
+type config struct {
+	name        string
+	data        string
+	listen      string
+	secret      string
+	directory   *domino.Directory
+	peers       map[string]string
+	preopen     [][2]string // path, title
+	jobs        []replicaJob
+	routeTick   time.Duration
+	clusterWith []string
+	catalogTick time.Duration
+	agents      []agentJob
+}
+
+type agentJob struct {
+	dbPath   string
+	name     string
+	interval time.Duration
+}
+
+func parseConfig(path string) (*config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg := &config{
+		directory: domino.NewDirectory(),
+		peers:     make(map[string]string),
+		listen:    "127.0.0.1:1352",
+		routeTick: 15 * time.Second,
+	}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) error {
+			return fmt.Errorf("%s:%d: %s: %q", path, lineNo, why, line)
+		}
+		switch fields[0] {
+		case "name":
+			if len(fields) != 2 {
+				return nil, bad("name wants 1 argument")
+			}
+			cfg.name = fields[1]
+		case "data":
+			if len(fields) != 2 {
+				return nil, bad("data wants 1 argument")
+			}
+			cfg.data = fields[1]
+		case "listen":
+			if len(fields) != 2 {
+				return nil, bad("listen wants 1 argument")
+			}
+			cfg.listen = fields[1]
+		case "secret":
+			if len(fields) != 2 {
+				return nil, bad("secret wants 1 argument")
+			}
+			cfg.secret = fields[1]
+		case "user":
+			if len(fields) < 3 || len(fields) > 5 {
+				return nil, bad("user wants 2-4 arguments")
+			}
+			u := domino.User{Name: fields[1], Secret: fields[2]}
+			if len(fields) > 3 {
+				u.MailFile = fields[3]
+			}
+			if len(fields) > 4 {
+				u.MailServer = fields[4]
+			}
+			if err := cfg.directory.AddUser(u); err != nil {
+				return nil, bad(err.Error())
+			}
+		case "group":
+			if len(fields) != 3 {
+				return nil, bad("group wants 2 arguments")
+			}
+			if err := cfg.directory.AddGroup(fields[1], strings.Split(fields[2], ",")...); err != nil {
+				return nil, bad(err.Error())
+			}
+		case "db":
+			if len(fields) < 2 {
+				return nil, bad("db wants at least 1 argument")
+			}
+			title := fields[1]
+			if len(fields) > 2 {
+				title = strings.Join(fields[2:], " ")
+			}
+			cfg.preopen = append(cfg.preopen, [2]string{fields[1], title})
+		case "peer":
+			if len(fields) != 3 {
+				return nil, bad("peer wants 2 arguments")
+			}
+			cfg.peers[strings.ToLower(fields[1])] = fields[2]
+		case "replicate":
+			if len(fields) != 4 {
+				return nil, bad("replicate wants 3 arguments")
+			}
+			d, err := time.ParseDuration(fields[3])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.jobs = append(cfg.jobs, replicaJob{peer: fields[1], dbPath: fields[2], interval: d})
+		case "route":
+			if len(fields) != 2 {
+				return nil, bad("route wants 1 argument")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.routeTick = d
+		case "cluster":
+			if len(fields) != 2 {
+				return nil, bad("cluster wants 1 argument")
+			}
+			cfg.clusterWith = append(cfg.clusterWith, fields[1])
+		case "catalog":
+			if len(fields) != 2 {
+				return nil, bad("catalog wants 1 argument")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.catalogTick = d
+		case "agent":
+			if len(fields) != 4 {
+				return nil, bad("agent wants 3 arguments")
+			}
+			d, err := time.ParseDuration(fields[3])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.agents = append(cfg.agents, agentJob{dbPath: fields[1], name: fields[2], interval: d})
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cfg.name == "" || cfg.data == "" {
+		return nil, fmt.Errorf("%s: 'name' and 'data' are required", path)
+	}
+	return cfg, nil
+}
+
+func main() {
+	configPath := flag.String("config", "server.conf", "configuration file")
+	flag.Parse()
+	cfg, err := parseConfig(*configPath)
+	if err != nil {
+		log.Fatalf("dominod: %v", err)
+	}
+	srv, err := domino.NewServer(domino.ServerOptions{
+		Name:       cfg.name,
+		DataDir:    cfg.data,
+		Directory:  cfg.directory,
+		Peers:      cfg.peers,
+		PeerSecret: cfg.secret,
+	})
+	if err != nil {
+		log.Fatalf("dominod: %v", err)
+	}
+	for _, pre := range cfg.preopen {
+		if _, err := srv.OpenDB(pre[0], domino.Options{Title: pre[1]}); err != nil {
+			log.Fatalf("dominod: open %s: %v", pre[0], err)
+		}
+		log.Printf("opened database %s", pre[0])
+	}
+	addr, err := srv.Start(cfg.listen)
+	if err != nil {
+		log.Fatalf("dominod: listen: %v", err)
+	}
+	log.Printf("server %q serving %s on %s", cfg.name, cfg.data, addr)
+	if len(cfg.clusterWith) > 0 {
+		mates := make(map[string]string, len(cfg.clusterWith))
+		for _, name := range cfg.clusterWith {
+			peerAddr, ok := cfg.peers[strings.ToLower(name)]
+			if !ok {
+				log.Fatalf("dominod: cluster mate %q has no peer address", name)
+			}
+			mates[name] = peerAddr
+		}
+		srv.EnableClustering(mates)
+		log.Printf("cluster push enabled to %v", cfg.clusterWith)
+	}
+
+	stop := make(chan struct{})
+	// Router task.
+	go func() {
+		t := time.NewTicker(cfg.routeTick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				st, err := srv.Router().RouteOnce()
+				if err != nil {
+					log.Printf("router: %v", err)
+					continue
+				}
+				if st.Delivered+st.Forwarded+st.DeadLetter > 0 {
+					log.Printf("router: delivered=%d forwarded=%d dead=%d",
+						st.Delivered, st.Forwarded, st.DeadLetter)
+				}
+			}
+		}
+	}()
+	// Replication jobs.
+	for _, job := range cfg.jobs {
+		job := job
+		go func() {
+			t := time.NewTicker(job.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					addr, ok := cfg.peers[strings.ToLower(job.peer)]
+					if !ok {
+						log.Printf("replicator: no address for peer %s", job.peer)
+						continue
+					}
+					st, err := srv.ReplicateWith(job.peer, addr, job.dbPath, repl.Options{})
+					if err != nil {
+						log.Printf("replicator %s %s: %v", job.peer, job.dbPath, err)
+						continue
+					}
+					if st.NotesFetched+st.NotesSent > 0 {
+						log.Printf("replicator %s %s: %s", job.peer, job.dbPath, st)
+					}
+				}
+			}
+		}()
+	}
+
+	// Agent scheduler: one manager per database (save triggers hook once),
+	// named agents run on their configured intervals.
+	managers := make(map[string]*domino.AgentManager)
+	for _, job := range cfg.agents {
+		job := job
+		mgr, ok := managers[job.dbPath]
+		if !ok {
+			db, err := srv.OpenDB(job.dbPath, domino.Options{})
+			if err != nil {
+				log.Fatalf("dominod: agent db %s: %v", job.dbPath, err)
+			}
+			mgr, err = domino.NewAgentManager(db)
+			if err != nil {
+				log.Fatalf("dominod: agents in %s: %v", job.dbPath, err)
+			}
+			managers[job.dbPath] = mgr
+		}
+		go func() {
+			t := time.NewTicker(job.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					stats, err := mgr.Run(job.name)
+					if err != nil {
+						log.Printf("agent %s in %s: %v", job.name, job.dbPath, err)
+						continue
+					}
+					if stats.Modified > 0 {
+						log.Printf("agent %s in %s: examined=%d selected=%d modified=%d",
+							job.name, job.dbPath, stats.Examined, stats.Selected, stats.Modified)
+					}
+				}
+			}
+		}()
+	}
+
+	// Catalog task.
+	if cfg.catalogTick > 0 {
+		go func() {
+			t := time.NewTicker(cfg.catalogTick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if n, err := srv.RefreshCatalog(); err != nil {
+						log.Printf("catalog: %v", err)
+					} else {
+						log.Printf("catalog: %d entries", n)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	close(stop)
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

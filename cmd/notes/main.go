@@ -1,0 +1,275 @@
+// Command notes is the workstation client: it talks to a dominod server
+// over the wire protocol to create, read, and delete documents, render
+// views, run full-text queries, and send mail.
+//
+// Usage:
+//
+//	notes -server HOST:PORT -user NAME -secret SECRET <command> [args]
+//
+// Commands:
+//
+//	create -db PATH item=value [item=value...]   create a document
+//	get    -db PATH -unid UNID                   print a document
+//	delete -db PATH -unid UNID                   delete a document
+//	view   -db PATH -name VIEW                   render a view
+//	search -db PATH -query QUERY                 full-text search
+//	mail   -to A,B -subject S -body TEXT         deposit mail for routing
+//	info   -db PATH                              database information
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	domino "repro"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:1352", "server address")
+	user := flag.String("user", "", "user name")
+	secret := flag.String("secret", "", "user secret")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "notes: missing command (create|get|delete|view|search|mail|info)")
+		os.Exit(2)
+	}
+	if *user == "" {
+		log.Fatal("notes: -user is required")
+	}
+	client, err := domino.Dial(*server, *user, *secret)
+	if err != nil {
+		log.Fatalf("notes: %v", err)
+	}
+	defer client.Close()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var cmdErr error
+	switch cmd {
+	case "create":
+		cmdErr = cmdCreate(client, args)
+	case "get":
+		cmdErr = cmdGet(client, args)
+	case "delete":
+		cmdErr = cmdDelete(client, args)
+	case "view":
+		cmdErr = cmdView(client, args)
+	case "search":
+		cmdErr = cmdSearch(client, args)
+	case "mail":
+		cmdErr = cmdMail(client, *user, args)
+	case "info":
+		cmdErr = cmdInfo(client, args)
+	default:
+		cmdErr = fmt.Errorf("unknown command %q", cmd)
+	}
+	if cmdErr != nil {
+		log.Fatalf("notes: %v", cmdErr)
+	}
+}
+
+func cmdCreate(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("create", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("create: -db is required")
+	}
+	db, err := c.OpenDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	n := domino.NewDocument()
+	for _, kv := range fs.Args() {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("create: item %q is not name=value", kv)
+		}
+		if num, err := strconv.ParseFloat(value, 64); err == nil {
+			n.SetNumber(key, num)
+		} else {
+			n.SetText(key, strings.Split(value, ",")...)
+		}
+	}
+	if err := db.Create(n); err != nil {
+		return err
+	}
+	fmt.Printf("created %s (note id %d)\n", n.OID.UNID, n.ID)
+	return nil
+}
+
+func parseUNIDFlag(fs *flag.FlagSet, args []string) (string, domino.UNID, error) {
+	dbPath := fs.String("db", "", "database path")
+	unidStr := fs.String("unid", "", "document UNID")
+	fs.Parse(args)
+	var zero domino.UNID
+	if *dbPath == "" || *unidStr == "" {
+		return "", zero, fmt.Errorf("-db and -unid are required")
+	}
+	unid, err := parseUNID(*unidStr)
+	if err != nil {
+		return "", zero, err
+	}
+	return *dbPath, unid, nil
+}
+
+func parseUNID(s string) (domino.UNID, error) {
+	var u domino.UNID
+	b, err := hexDecode(s)
+	if err != nil || len(b) != 16 {
+		return u, fmt.Errorf("bad UNID %q", s)
+	}
+	copy(u[:], b)
+	return u, nil
+}
+
+func hexDecode(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("odd length")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		v, err := strconv.ParseUint(s[2*i:2*i+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+func cmdGet(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	dbPath, unid, err := parseUNIDFlag(fs, args)
+	if err != nil {
+		return err
+	}
+	db, err := c.OpenDB(dbPath)
+	if err != nil {
+		return err
+	}
+	n, err := db.Get(unid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("UNID:     %s\n", n.OID.UNID)
+	fmt.Printf("NoteID:   %d\n", n.ID)
+	fmt.Printf("Version:  seq %d @ %s\n", n.OID.Seq, n.OID.SeqTime)
+	fmt.Printf("Created:  %s\n", n.Created)
+	fmt.Printf("Modified: %s\n", n.Modified)
+	for _, it := range n.Items {
+		fmt.Printf("  %-20s = %s\n", it.Name, it.Value.String())
+	}
+	return nil
+}
+
+func cmdDelete(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	dbPath, unid, err := parseUNIDFlag(fs, args)
+	if err != nil {
+		return err
+	}
+	db, err := c.OpenDB(dbPath)
+	if err != nil {
+		return err
+	}
+	if err := db.Delete(unid); err != nil {
+		return err
+	}
+	fmt.Printf("deleted %s\n", unid)
+	return nil
+}
+
+func cmdView(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("view", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	name := fs.String("name", "", "view name")
+	fs.Parse(args)
+	if *dbPath == "" || *name == "" {
+		return fmt.Errorf("view: -db and -name are required")
+	}
+	db, err := c.OpenDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	rows, err := db.ViewRows(*name)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		indent := strings.Repeat("  ", r.Indent)
+		if r.Category != "" {
+			fmt.Printf("%s[%s]\n", indent, r.Category)
+			continue
+		}
+		fmt.Printf("%s%s  (%s)\n", indent, strings.Join(r.Columns, " | "), r.UNID)
+	}
+	fmt.Printf("%d rows\n", len(rows))
+	return nil
+}
+
+func cmdSearch(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	query := fs.String("query", "", "full-text query")
+	fs.Parse(args)
+	if *dbPath == "" || *query == "" {
+		return fmt.Errorf("search: -db and -query are required")
+	}
+	db, err := c.OpenDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	hits, err := db.Search(*query)
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		fmt.Printf("%8.3f  %s\n", h.Score, h.UNID)
+	}
+	fmt.Printf("%d hits\n", len(hits))
+	return nil
+}
+
+func cmdMail(c *domino.Client, from string, args []string) error {
+	fs := flag.NewFlagSet("mail", flag.ExitOnError)
+	to := fs.String("to", "", "comma-separated recipients")
+	subject := fs.String("subject", "", "subject line")
+	body := fs.String("body", "", "message body")
+	fs.Parse(args)
+	if *to == "" {
+		return fmt.Errorf("mail: -to is required")
+	}
+	m := domino.NewDocument()
+	m.SetText("Form", "Memo")
+	m.SetText("SendTo", strings.Split(*to, ",")...)
+	m.SetText("From", from)
+	m.SetText("Subject", *subject)
+	m.SetText("Body", *body)
+	if err := c.MailDeposit(m); err != nil {
+		return err
+	}
+	fmt.Println("mail deposited for routing")
+	return nil
+}
+
+func cmdInfo(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("info: -db is required")
+	}
+	db, err := c.OpenDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	replica, _ := db.ReplicaID()
+	fmt.Printf("path:    %s\n", db.Path())
+	fmt.Printf("title:   %s\n", db.Title())
+	fmt.Printf("replica: %s\n", replica)
+	return nil
+}

@@ -1,0 +1,217 @@
+// Command nsfadmin administers local NSF database files: inspect
+// statistics, compact, purge deletion stubs, list views, and dump notes —
+// the jobs a Domino administrator ran as server console commands.
+//
+// Usage:
+//
+//	nsfadmin stats   DB.nsf
+//	nsfadmin compact DB.nsf
+//	nsfadmin purge   DB.nsf -cutoff 720h
+//	nsfadmin views   DB.nsf
+//	nsfadmin dump    DB.nsf [-class document|view|acl|agent|all] [-stubs]
+//	nsfadmin acl     DB.nsf
+//	nsfadmin verify  DB.nsf
+//	nsfadmin archive DB.nsf ARCHIVE.nsf [-cutoff 2160h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	domino "repro"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify> DB.nsf [flags]")
+		os.Exit(2)
+	}
+	cmd, path, rest := os.Args[1], os.Args[2], os.Args[3:]
+	if _, err := os.Stat(path); err != nil {
+		log.Fatalf("nsfadmin: %v", err)
+	}
+	db, err := domino.Open(path, domino.Options{})
+	if err != nil {
+		log.Fatalf("nsfadmin: %v", err)
+	}
+	defer db.Close()
+
+	switch cmd {
+	case "stats":
+		err = cmdStats(db)
+	case "compact":
+		err = cmdCompact(db)
+	case "purge":
+		err = cmdPurge(db, rest)
+	case "views":
+		err = cmdViews(db)
+	case "dump":
+		err = cmdDump(db, rest)
+	case "acl":
+		err = cmdACL(db)
+	case "verify":
+		err = cmdVerify(db)
+	case "archive":
+		err = cmdArchive(db, rest)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		log.Fatalf("nsfadmin: %v", err)
+	}
+}
+
+func cmdStats(db *domino.Database) error {
+	st := db.Stats()
+	counts := make(map[string]int)
+	stubs := 0
+	db.ScanAll(func(n *domino.Note) bool {
+		if n.IsStub() {
+			stubs++
+		} else {
+			counts[n.Class.String()]++
+		}
+		return true
+	})
+	fmt.Printf("title:       %s\n", db.Title())
+	fmt.Printf("replica id:  %s\n", db.ReplicaID())
+	fmt.Printf("notes:       %d (%d stubs)\n", st.Notes, stubs)
+	for class, n := range counts {
+		fmt.Printf("  %-10s %d\n", class, n)
+	}
+	fmt.Printf("pages:       %d (%d KiB file)\n", st.Pages, st.Pages*4)
+	fmt.Printf("dirty pages: %d\n", st.DirtyPages)
+	fmt.Printf("wal bytes:   %d\n", st.WALBytes)
+	fmt.Printf("views:       %v\n", db.ViewNames())
+	return nil
+}
+
+func cmdCompact(db *domino.Database) error {
+	before := db.Stats().Pages
+	freed, err := db.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted: %d pages -> %d pages (%d reclaimed, %d KiB)\n",
+		before, db.Stats().Pages, freed, freed*4)
+	return nil
+}
+
+func cmdPurge(db *domino.Database, args []string) error {
+	fs := flag.NewFlagSet("purge", flag.ExitOnError)
+	cutoff := fs.Duration("cutoff", 90*24*time.Hour, "purge stubs older than this")
+	fs.Parse(args)
+	limit := domino.Timestamp(time.Now().Add(-*cutoff).UnixNano())
+	purged, err := db.PurgeStubs(limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("purged %d deletion stubs older than %s\n", purged, cutoff)
+	return nil
+}
+
+func cmdViews(db *domino.Database) error {
+	for _, name := range db.ViewNames() {
+		ix, _ := db.View(name)
+		def := ix.Definition()
+		fmt.Printf("%s  (%d entries)\n", name, ix.Len())
+		fmt.Printf("  selection: %s\n", def.Selection.Source())
+		for _, c := range def.Columns {
+			kind := "item " + c.ItemName
+			if c.ItemName == "" {
+				kind = "formula " + c.Formula.Source()
+			}
+			attrs := ""
+			if c.Sorted {
+				attrs += " sorted"
+			}
+			if c.Descending {
+				attrs += " desc"
+			}
+			if c.Categorized {
+				attrs += " categorized"
+			}
+			fmt.Printf("  column %-16q %s%s\n", c.Title, kind, attrs)
+		}
+	}
+	return nil
+}
+
+func cmdDump(db *domino.Database, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	class := fs.String("class", "document", "note class filter (document|view|acl|agent|all)")
+	stubs := fs.Bool("stubs", false, "include deletion stubs")
+	fs.Parse(args)
+	count := 0
+	err := db.ScanAll(func(n *domino.Note) bool {
+		if n.IsStub() && !*stubs {
+			return true
+		}
+		if *class != "all" && n.Class.String() != *class {
+			return true
+		}
+		count++
+		marker := ""
+		if n.IsStub() {
+			marker = " [STUB]"
+		}
+		if n.IsConflict() {
+			marker += " [CONFLICT]"
+		}
+		fmt.Printf("note %d  unid %s  seq %d @ %s%s\n",
+			n.ID, n.OID.UNID, n.OID.Seq, n.OID.SeqTime, marker)
+		for _, it := range n.Items {
+			fmt.Printf("  %-20s (%s) = %s\n", it.Name, it.Value.Type, it.Value.String())
+		}
+		return true
+	})
+	fmt.Printf("%d notes\n", count)
+	return err
+}
+
+func cmdVerify(db *domino.Database) error {
+	problems := db.Verify()
+	if len(problems) == 0 {
+		fmt.Println("database is consistent")
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	return fmt.Errorf("%d problems found", len(problems))
+}
+
+func cmdArchive(db *domino.Database, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("archive: destination database path required")
+	}
+	dstPath, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("archive", flag.ExitOnError)
+	cutoff := fs.Duration("cutoff", 90*24*time.Hour, "archive documents older than this")
+	fs.Parse(rest)
+	dst, err := domino.Open(dstPath, domino.Options{Title: db.Title() + " (archive)"})
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	limit := domino.Timestamp(time.Now().Add(-*cutoff).UnixNano())
+	stats, err := db.ArchiveTo(dst, limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archived %d documents (%d already present) older than %s into %s\n",
+		stats.Moved, stats.Skipped, cutoff, dstPath)
+	return nil
+}
+
+func cmdACL(db *domino.Database) error {
+	a := db.ACL()
+	fmt.Printf("default: %s\n", a.Default())
+	for _, e := range a.Entries() {
+		fmt.Printf("%-24s %-10s %v\n", e.Name, e.Level, e.Roles)
+	}
+	return nil
+}

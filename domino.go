@@ -1,0 +1,233 @@
+// Package domino is the public API of the Domino/Notes reproduction: a
+// replicated, semi-structured document database with views, an @formula
+// language, per-database ACLs with Reader/Author items, full-text search,
+// mail routing, agents, and a client/server wire protocol.
+//
+// The package is a thin facade over the internal subsystems; see DESIGN.md
+// for the architecture and EXPERIMENTS.md for the measured reproduction of
+// the paper's architectural claims.
+//
+// Quick start:
+//
+//	db, err := domino.Open("discussion.nsf", domino.Options{Title: "Discussion"})
+//	...
+//	sess := db.Session("Ada Lovelace")
+//	doc := domino.NewDocument()
+//	doc.SetText("Form", "Topic")
+//	doc.SetText("Subject", "hello groupware")
+//	err = sess.Create(doc)
+package domino
+
+import (
+	"repro/internal/acl"
+	"repro/internal/agent"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/formula"
+	"repro/internal/ft"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/view"
+	"repro/internal/wire"
+)
+
+// Core database types.
+type (
+	// Database is an open NSF database.
+	Database = core.Database
+	// Session is a user's ACL-checked handle on a database.
+	Session = core.Session
+	// Options configure Open.
+	Options = core.Options
+	// Note is a document: a bag of typed items with identity and version.
+	Note = nsf.Note
+	// Item is a named, typed value on a note.
+	Item = nsf.Item
+	// Value is a typed list value.
+	Value = nsf.Value
+	// UNID is a universal note ID, shared across replicas.
+	UNID = nsf.UNID
+	// ReplicaID identifies a replica set.
+	ReplicaID = nsf.ReplicaID
+	// Timestamp is a nanosecond wall/logical timestamp.
+	Timestamp = nsf.Timestamp
+	// Clock issues strictly monotonic timestamps.
+	Clock = clock.Clock
+	// StoreStats reports storage statistics.
+	StoreStats = store.Stats
+)
+
+// Errors.
+var (
+	// ErrNotFound reports a missing note.
+	ErrNotFound = core.ErrNotFound
+	// ErrAccessDenied reports insufficient access rights.
+	ErrAccessDenied = core.ErrAccessDenied
+)
+
+// Item flags.
+const (
+	FlagSummary = nsf.FlagSummary
+	FlagReaders = nsf.FlagReaders
+	FlagAuthors = nsf.FlagAuthors
+	FlagNames   = nsf.FlagNames
+)
+
+// Note classes.
+const (
+	ClassDocument = nsf.ClassDocument
+	ClassView     = nsf.ClassView
+	ClassACL      = nsf.ClassACL
+	ClassAgent    = nsf.ClassAgent
+)
+
+// Open opens or creates a database file.
+func Open(path string, opts Options) (*Database, error) { return core.Open(path, opts) }
+
+// NewDocument returns a fresh document note with a new UNID.
+func NewDocument() *Note { return nsf.NewNote(nsf.ClassDocument) }
+
+// NewReplicaID returns a fresh replica identity; pass the same value to two
+// Opens to create a replica pair.
+func NewReplicaID() ReplicaID { return nsf.NewReplicaID() }
+
+// Value constructors.
+var (
+	// TextValue builds a text (list) value.
+	TextValue = nsf.TextValue
+	// NumberValue builds a number (list) value.
+	NumberValue = nsf.NumberValue
+	// TimeValue builds a time (list) value.
+	TimeValue = nsf.TimeValue
+)
+
+// Views.
+type (
+	// ViewDefinition describes a view: selection formula plus columns.
+	ViewDefinition = view.Definition
+	// ViewColumn describes one view column.
+	ViewColumn = view.Column
+	// ViewIndex is a maintained view index.
+	ViewIndex = view.Index
+	// ViewRow is a rendered view row (category header or entry).
+	ViewRow = view.Row
+	// ViewEntry is one document's row in a view.
+	ViewEntry = view.Entry
+)
+
+// NewView builds a view definition from a selection formula source and
+// columns.
+func NewView(name, selection string, cols ...ViewColumn) (*ViewDefinition, error) {
+	return view.NewDefinition(name, selection, cols...)
+}
+
+// Formulas.
+type (
+	// Formula is a compiled @formula program.
+	Formula = formula.Formula
+	// FormulaContext supplies the evaluation environment.
+	FormulaContext = formula.Context
+)
+
+// CompileFormula compiles @formula source.
+func CompileFormula(src string) (*Formula, error) { return formula.Compile(src) }
+
+// Access control.
+type (
+	// ACL is a database access control list.
+	ACL = acl.ACL
+	// ACLLevel is an access level (NoAccess … Manager).
+	ACLLevel = acl.Level
+	// Identity is a user's resolved access context.
+	Identity = acl.Identity
+	// Directory is the user/group registry (names.nsf).
+	Directory = dir.Directory
+	// User is a directory entry.
+	User = dir.User
+)
+
+// Access levels.
+const (
+	NoAccess  = acl.NoAccess
+	Depositor = acl.Depositor
+	Reader    = acl.Reader
+	Author    = acl.Author
+	Editor    = acl.Editor
+	Designer  = acl.Designer
+	Manager   = acl.Manager
+)
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return dir.New() }
+
+// Replication.
+type (
+	// ReplicationOptions configure a replication session.
+	ReplicationOptions = repl.Options
+	// ReplicationStats report a session's outcome.
+	ReplicationStats = repl.Stats
+	// ApplyOptions tune conflict handling.
+	ApplyOptions = repl.ApplyOptions
+	// Peer is one side of a replication session.
+	Peer = repl.Peer
+	// LocalPeer adapts a local database to Peer.
+	LocalPeer = repl.LocalPeer
+)
+
+// Replicate runs one replication session between a local database and a
+// peer (local or remote).
+func Replicate(local *Database, peer Peer, opts ReplicationOptions) (ReplicationStats, error) {
+	return repl.Replicate(local, peer, opts)
+}
+
+// Full-text search.
+type (
+	// SearchResult is one full-text hit.
+	SearchResult = ft.Result
+)
+
+// Server and wire protocol.
+type (
+	// Server is a Domino-style server over a data directory.
+	Server = server.Server
+	// ServerOptions configure a server.
+	ServerOptions = server.Options
+	// Client is an authenticated wire connection.
+	Client = wire.Client
+	// RemoteDB is a database opened over the wire; it implements Peer.
+	RemoteDB = wire.RemoteDB
+	// Router moves mail from mail.box to destinations.
+	Router = router.Router
+)
+
+// NewServer creates a server over a data directory.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// Dial connects and authenticates to a server.
+func Dial(addr, user, secret string) (*Client, error) { return wire.Dial(addr, user, secret) }
+
+// Agents.
+type (
+	// Agent is a compiled agent.
+	Agent = agent.Agent
+	// AgentManager runs a database's agents.
+	AgentManager = agent.Manager
+)
+
+// Agent triggers.
+const (
+	AgentOnInvoke = agent.OnInvoke
+	AgentOnSave   = agent.OnSave
+)
+
+// NewAgent compiles an agent from formula sources.
+func NewAgent(name, signer string, trigger agent.Trigger, selection, action string) (*Agent, error) {
+	return agent.New(name, signer, trigger, selection, action)
+}
+
+// NewAgentManager loads and manages a database's agents.
+func NewAgentManager(db *Database) (*AgentManager, error) { return agent.NewManager(db) }

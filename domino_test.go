@@ -1,0 +1,203 @@
+package domino_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	domino "repro"
+)
+
+// TestPublicAPIEndToEnd walks the whole public surface the README promises:
+// database lifecycle, sessions and ACLs, views (sorted, categorized,
+// threaded), full-text search, folders, profiles, unread marks, agents,
+// signing, attachments, replication with conflict handling, and compaction.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	d := domino.NewDirectory()
+	d.AddUser(domino.User{Name: "ada", Secret: "pw"})
+	d.AddUser(domino.User{Name: "bob", Secret: "pw"})
+	d.AddGroup("team", "ada", "bob")
+
+	replica := domino.NewReplicaID()
+	db, err := domino.Open(filepath.Join(dir, "main.nsf"), domino.Options{
+		Title: "Public API", ReplicaID: replica, Directory: d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.ACL().Set("team", domino.Designer)
+	db.ACL().SetDefault(domino.NoAccess)
+	if err := db.SaveACL(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ada := db.Session("ada")
+
+	// Documents with attachments and a signature.
+	doc := domino.NewDocument()
+	doc.SetText("Form", "Report")
+	doc.SetText("Subject", "quarterly numbers")
+	doc.SetNumber("Quarter", 3)
+	if err := doc.Attach("numbers.csv", []byte("q,revenue\n3,100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.Sign(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.Create(doc); err != nil {
+		t.Fatal(err)
+	}
+	if signer, err := db.VerifySignature(doc); err != nil || signer != "ada" {
+		t.Fatalf("signature: %q %v", signer, err)
+	}
+
+	// A response, for the threaded view.
+	reply := domino.NewDocument()
+	reply.SetText("Form", "Comment")
+	reply.SetText("Subject", "re: quarterly numbers")
+	reply.SetText("$Ref", doc.OID.UNID.String())
+	if err := ada.Create(reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Views: sorted + threaded.
+	threaded, err := domino.NewView("threads", "SELECT @All",
+		domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threaded.ShowResponses = true
+	if err := db.AddView(ada, threaded); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ada.Rows("threads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1].Indent != 1 {
+		t.Fatalf("threaded rows = %+v", rows)
+	}
+
+	// Full-text search.
+	if err := db.EnableFullText(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := ada.Search("quarterly")
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("search: %d hits, %v", len(hits), err)
+	}
+
+	// Folders and profiles.
+	if err := db.CreateFolder(ada, "important"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ada.AddToFolder("important", doc.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	contents, _ := ada.FolderContents("important")
+	if len(contents) != 1 {
+		t.Fatalf("folder contents = %d", len(contents))
+	}
+	prof, err := ada.Profile("prefs", "ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.SetText("Theme", "dark")
+	if err := ada.SaveProfile(prof); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unread marks.
+	if !ada.IsUnread(doc.OID.UNID) {
+		t.Error("fresh doc not unread")
+	}
+	if err := ada.MarkRead(doc.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	if ada.IsUnread(doc.OID.UNID) {
+		t.Error("read doc still unread")
+	}
+
+	// Agents.
+	mgr, err := domino.NewAgentManager(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := domino.NewAgent("tagger", "ada", domino.AgentOnInvoke,
+		`SELECT Form = "Report"`, `FIELD Tagged := "yes"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Add(agent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Run("tagger"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ada.Get(doc.OID.UNID)
+	if got.Text("Tagged") != "yes" {
+		t.Error("agent did not run")
+	}
+
+	// Replication to a second replica, then a concurrent-edit conflict.
+	db2, err := domino.Open(filepath.Join(dir, "replica.nsf"), domino.Options{
+		ReplicaID: replica, Directory: d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	opts := domino.ReplicationOptions{PeerName: "main", Apply: domino.ApplyOptions{FieldMerge: true}}
+	if _, err := domino.Replicate(db2, &domino.LocalPeer{DB: db}, opts); err != nil {
+		t.Fatal(err)
+	}
+	bob := db2.Session("bob")
+	if _, err := bob.Get(doc.OID.UNID); err != nil {
+		t.Fatalf("replicated doc unreadable at replica: %v", err)
+	}
+	// Disjoint concurrent edits merge silently.
+	a1, _ := db.Session("ada").Get(doc.OID.UNID)
+	a1.SetText("Status", "final")
+	db.Session("ada").Update(a1)
+	b1, _ := bob.Get(doc.OID.UNID)
+	b1.SetNumber("Reviewed", 1)
+	bob.Update(b1)
+	st, err := domino.Replicate(db2, &domino.LocalPeer{DB: db, Opts: opts.Apply}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pull.Merged+st.Push.Merged == 0 {
+		t.Errorf("disjoint edits did not merge: %v", st)
+	}
+	merged, _ := bob.Get(doc.OID.UNID)
+	if merged.Text("Status") != "final" || merged.Number("Reviewed") != 1 {
+		t.Errorf("merge lost items: %v", merged.ItemNames())
+	}
+
+	// Deletion stubs replicate; compaction keeps everything working.
+	if err := bob.Delete(reply.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := domino.Replicate(db2, &domino.LocalPeer{DB: db, Opts: opts.Apply}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.Get(reply.OID.UNID); !errors.Is(err, domino.ErrNotFound) {
+		t.Errorf("delete did not replicate: %v", err)
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ada.Get(doc.OID.UNID); err != nil {
+		t.Errorf("doc lost after compaction: %v", err)
+	}
+	data, ok := got.Attachment("numbers.csv")
+	if !ok || len(data) == 0 {
+		t.Error("attachment lost")
+	}
+	// ACL still enforced at the end of all this.
+	if _, err := db.Session("stranger").Get(doc.OID.UNID); !errors.Is(err, domino.ErrAccessDenied) {
+		t.Errorf("stranger read doc: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Cluster: two servers in a cluster. Saves on the primary stream to the
+// mate within moments (event-driven push), the catalog task inventories
+// the data directory, and log.nsf records what the servers did.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	domino "repro"
+)
+
+func main() {
+	base, err := os.MkdirTemp("", "domino-cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	d := domino.NewDirectory()
+	d.AddUser(domino.User{Name: "ada", Secret: "pw"})
+	d.AddUser(domino.User{Name: "alpha", Secret: "srv-a"})
+	d.AddUser(domino.User{Name: "beta", Secret: "srv-b"})
+
+	alpha, err := domino.NewServer(domino.ServerOptions{
+		Name: "alpha", DataDir: filepath.Join(base, "alpha"),
+		Directory: d, PeerSecret: "srv-a",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alpha.Close()
+	beta, err := domino.NewServer(domino.ServerOptions{
+		Name: "beta", DataDir: filepath.Join(base, "beta"),
+		Directory: d, PeerSecret: "srv-b",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer beta.Close()
+	alphaAddr, err := alpha.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = alphaAddr
+	betaAddr, err := beta.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The clustered database exists on both servers as replicas.
+	replica := domino.NewReplicaID()
+	dbA, err := alpha.OpenDB("apps/orders.nsf", domino.Options{Title: "Orders", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbB, err := beta.OpenDB("apps/orders.nsf", domino.Options{Title: "Orders", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cluster mates authenticate as servers; they need Editor to apply.
+	dbA.ACL().Set("beta", domino.Editor)
+	dbB.ACL().Set("alpha", domino.Editor)
+
+	// Turn on event-driven push from alpha to beta.
+	alpha.EnableClustering(map[string]string{"beta": betaAddr})
+	fmt.Println("cluster push enabled: alpha -> beta")
+
+	// Saves on alpha appear on beta without any scheduled replication.
+	sess := dbA.Session("ada")
+	start := time.Now()
+	for i := 1; i <= 5; i++ {
+		order := domino.NewDocument()
+		order.SetText("Form", "Order")
+		order.SetText("Subject", fmt.Sprintf("order #%d", i))
+		order.SetNumber("Amount", float64(100*i))
+		if err := sess.Create(order); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Wait for the mate to catch up.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		count := 0
+		dbB.ScanAll(func(n *domino.Note) bool {
+			if n.Class == domino.ClassDocument && !n.IsStub() {
+				count++
+			}
+			return true
+		})
+		if count == 5 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("5 orders visible on beta %.0f ms after the saves on alpha\n",
+		time.Since(start).Seconds()*1000)
+
+	// The catalog task inventories alpha's databases.
+	if _, err := alpha.RefreshCatalog(); err != nil {
+		log.Fatal(err)
+	}
+	cat, _ := alpha.DB("catalog.nsf")
+	fmt.Println("\nalpha's database catalog:")
+	cat.ScanAll(func(n *domino.Note) bool {
+		if n.Text("Form") == "Catalog" {
+			fmt.Printf("  %-18s %-12q %s notes\n",
+				n.Text("Path"), n.Text("Title"), n.Get("Notes").String())
+		}
+		return true
+	})
+
+	// log.nsf recorded the cluster sessions.
+	alpha.LogEvent("admin", "example finished", nil)
+	logDB, _ := alpha.DB("log.nsf")
+	events := 0
+	logDB.ScanAll(func(n *domino.Note) bool {
+		if n.Text("Form") == "LogEvent" {
+			events++
+		}
+		return true
+	})
+	fmt.Printf("\nalpha's log.nsf holds %d event documents\n", events)
+}

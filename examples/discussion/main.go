@@ -1,0 +1,170 @@
+// Discussion: a threaded discussion database — the workload Notes was born
+// for. Demonstrates categorized views over threads, concurrent edits on two
+// replicas producing a replication conflict, and field-level merge
+// resolving a disjoint edit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	domino "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "domino-discussion")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	replica := domino.NewReplicaID()
+	hq, err := domino.Open(filepath.Join(dir, "hq.nsf"),
+		domino.Options{Title: "Discussion (HQ)", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hq.Close()
+	branch, err := domino.Open(filepath.Join(dir, "branch.nsf"),
+		domino.Options{Title: "Discussion (Branch)", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer branch.Close()
+
+	// --- seed threads at HQ ---
+	ada := hq.Session("ada")
+	topics := map[string][]string{
+		"Databases": {"Why replicate documents?", "View indexing tricks"},
+		"Coffee":    {"Best beans near the office"},
+	}
+	for cat, subjects := range topics {
+		for _, subj := range subjects {
+			topic := domino.NewDocument()
+			topic.SetText("Form", "Topic")
+			topic.SetText("Category", cat)
+			topic.SetText("Subject", subj)
+			topic.SetText("Body", "Opening post for: "+subj)
+			if err := ada.Create(topic); err != nil {
+				log.Fatal(err)
+			}
+			// Two replies per topic.
+			for i := 1; i <= 2; i++ {
+				reply := domino.NewDocument()
+				reply.SetText("Form", "Response")
+				reply.SetText("Category", cat)
+				reply.SetText("Subject", fmt.Sprintf("Re: %s (%d)", subj, i))
+				reply.SetText("$Ref", topic.OID.UNID.String())
+				if err := ada.Create(reply); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// --- a categorized view: category › topics and responses ---
+	def, err := domino.NewView("threads", "SELECT @All",
+		domino.ViewColumn{Title: "Category", ItemName: "Category", Categorized: true},
+		domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true},
+		domino.ViewColumn{Title: "Kind", ItemName: "Form"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hq.AddView(nil, def); err != nil {
+		log.Fatal(err)
+	}
+	rows, _ := ada.Rows("threads")
+	fmt.Println("categorized discussion view:")
+	for _, r := range rows {
+		if r.Entry == nil {
+			fmt.Printf("%*s[%s]\n", r.Indent*2, "", r.Category)
+		} else {
+			fmt.Printf("%*s%s (%s)\n", r.Indent*2, "", r.Entry.ColumnText(1), r.Entry.ColumnText(2))
+		}
+	}
+
+	// --- the same documents as a response hierarchy (threaded view) ---
+	threaded, err := domino.NewView("by thread", "SELECT @All",
+		domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	threaded.ShowResponses = true
+	if err := hq.AddView(nil, threaded); err != nil {
+		log.Fatal(err)
+	}
+	rows, _ = ada.Rows("by thread")
+	fmt.Println("\nthreaded view (responses nest under their parents):")
+	for _, r := range rows {
+		fmt.Printf("%*s%s\n", r.Indent*2, "", r.Entry.ColumnText(0))
+	}
+
+	// --- replicate to the branch office ---
+	syncOpts := domino.ReplicationOptions{
+		PeerName: "hq", Apply: domino.ApplyOptions{FieldMerge: true},
+	}
+	if _, err := domino.Replicate(branch, &domino.LocalPeer{DB: hq}, syncOpts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbranch replica now has %d notes\n", branch.Count())
+
+	// --- concurrent edits: overlapping edit -> conflict document ---
+	var contested domino.UNID
+	ada.All(func(n *domino.Note) bool {
+		if n.Text("Form") == "Topic" {
+			contested = n.OID.UNID
+			return false
+		}
+		return true
+	})
+	hqDoc, _ := hq.Session("ada").Get(contested)
+	hqDoc.SetText("Body", "HQ says: replication is pull-based")
+	if err := hq.Session("ada").Update(hqDoc); err != nil {
+		log.Fatal(err)
+	}
+	brDoc, _ := branch.Session("bob").Get(contested)
+	brDoc.SetText("Body", "Branch says: replication is push-based")
+	if err := branch.Session("bob").Update(brDoc); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := domino.Replicate(branch, &domino.LocalPeer{DB: hq}, syncOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter concurrent Body edits: %s\n", stats)
+	conflicts := 0
+	branch.ScanAll(func(n *domino.Note) bool {
+		if n.IsConflict() {
+			conflicts++
+			fmt.Printf("conflict document preserves: %q\n", n.Text("Body"))
+		}
+		return true
+	})
+	fmt.Printf("conflict documents at branch: %d\n", conflicts)
+
+	// --- concurrent edits on DIFFERENT items -> merged silently ---
+	var other domino.UNID
+	ada.All(func(n *domino.Note) bool {
+		if n.Text("Form") == "Topic" && n.OID.UNID != contested {
+			other = n.OID.UNID
+			return false
+		}
+		return true
+	})
+	h2, _ := hq.Session("ada").Get(other)
+	h2.SetText("Status", "hot thread") // HQ touches Status
+	hq.Session("ada").Update(h2)
+	b2, _ := branch.Session("bob").Get(other)
+	b2.SetNumber("Votes", 42) // branch touches Votes
+	branch.Session("bob").Update(b2)
+	stats, err = domino.Replicate(branch, &domino.LocalPeer{DB: hq}, syncOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter disjoint edits: %s\n", stats)
+	merged, _ := branch.Session("bob").Get(other)
+	fmt.Printf("merged document: Status=%q Votes=%v (no conflict document)\n",
+		merged.Text("Status"), merged.Number("Votes"))
+}

@@ -1,0 +1,181 @@
+// Helpdesk: a workflow application — the "structured workflow on Notes"
+// pattern. Tickets carry Reader/Author items for per-document security, a
+// save-triggered agent stamps and escalates tickets, and two servers route
+// notification mail between offices.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	domino "repro"
+)
+
+func main() {
+	base, err := os.MkdirTemp("", "domino-helpdesk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(base)
+
+	// --- directory: users, groups, and two server identities ---
+	d := domino.NewDirectory()
+	users := []domino.User{
+		{Name: "ada", Secret: "pw-ada", MailFile: "mail/ada.nsf"},
+		{Name: "bob", Secret: "pw-bob", MailFile: "mail/bob.nsf", MailServer: "branch"},
+		{Name: "eve", Secret: "pw-eve", MailFile: "mail/eve.nsf"},
+		{Name: "hq", Secret: "srv-hq"},
+		{Name: "branch", Secret: "srv-branch"},
+	}
+	for _, u := range users {
+		if err := d.AddUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d.AddGroup("supporters", "ada", "bob")
+
+	// --- two servers ---
+	hq, err := domino.NewServer(domino.ServerOptions{
+		Name: "hq", DataDir: filepath.Join(base, "hq"),
+		Directory: d, PeerSecret: "srv-hq",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer hq.Close()
+	branch, err := domino.NewServer(domino.ServerOptions{
+		Name: "branch", DataDir: filepath.Join(base, "branch"),
+		Directory: d, PeerSecret: "srv-branch",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer branch.Close()
+	hqAddr, err := hq.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	branchAddr, err := branch.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = hqAddr
+	hq.SetPeers(map[string]string{"branch": branchAddr})
+
+	// --- the helpdesk database on hq ---
+	tickets, err := hq.OpenDB("apps/tickets.nsf", domino.Options{Title: "Helpdesk"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tickets.ACL().Set("supporters", domino.Editor)
+	tickets.ACL().Set("ada", domino.Designer) // team lead maintains agents
+	tickets.ACL().Set("eve", domino.Author)   // customers file tickets
+	tickets.ACL().SetDefault(domino.NoAccess)
+	if err := tickets.SaveACL(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// A save-triggered agent: every new ticket is stamped Open and urgent
+	// ones get escalated.
+	mgr, err := domino.NewAgentManager(tickets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stamp, err := domino.NewAgent("triage", "ada", domino.AgentOnSave,
+		`SELECT Form = "Ticket" & @IsUnavailable(Status)`,
+		`FIELD Status := @If(Priority >= 8; "escalated"; "open")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Add(stamp); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- a customer files tickets; reader fields hide them from others ---
+	file := func(user, subject string, priority float64) *domino.Note {
+		tk := domino.NewDocument()
+		tk.SetText("Form", "Ticket")
+		tk.SetText("Subject", subject)
+		tk.SetNumber("Priority", priority)
+		// Only supporters and the reporter may see the ticket.
+		tk.SetWithFlags("TicketReaders",
+			domino.TextValue("supporters", user), domino.FlagReaders|domino.FlagSummary)
+		if err := tickets.Session(user).Create(tk); err != nil {
+			log.Fatal(err)
+		}
+		return tk
+	}
+	t1 := file("eve", "printer on fire", 9)
+	t2 := file("eve", "password reset", 2)
+
+	// The triage agent already ran on save.
+	for _, tk := range []*domino.Note{t1, t2} {
+		got, err := tickets.Session("ada").Get(tk.OID.UNID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ticket %-18q priority=%v status=%q\n",
+			got.Text("Subject"), got.Number("Priority"), got.Text("Status"))
+	}
+
+	// Field-level encryption: internal triage notes on the ticket are
+	// sealed for the support team only. Eve can read her own ticket but
+	// not this field.
+	adaSess := tickets.Session("ada")
+	tk, _ := adaSess.Get(t1.OID.UNID)
+	tk.SetText("InternalNotes", "customer also broke the fax machine")
+	if err := adaSess.SealItem(tk, "InternalNotes", "ada", "bob"); err != nil {
+		log.Fatal(err)
+	}
+	if err := adaSess.Update(tk); err != nil {
+		log.Fatal(err)
+	}
+	if v, err := tickets.Session("bob").OpenItem(tk, "InternalNotes"); err == nil {
+		fmt.Printf("bob unseals internal notes: %q\n", v.Text[0])
+	}
+	if _, err := tickets.Session("eve").OpenItem(tk, "InternalNotes"); err != nil {
+		fmt.Println("eve cannot unseal the internal notes (not a recipient)")
+	}
+
+	// Reader fields at work: another customer cannot see eve's tickets...
+	outsider := tickets.Session("mallory")
+	if _, err := outsider.Get(t1.OID.UNID); err != nil {
+		fmt.Println("mallory cannot read eve's ticket (reader items + ACL)")
+	}
+	// ...but supporters can.
+	if _, err := tickets.Session("bob").Get(t1.OID.UNID); err == nil {
+		fmt.Println("bob (supporters group) can read it")
+	}
+
+	// --- notify the team by mail, across servers ---
+	client, err := domino.Dial(hqAddr, "eve", "pw-eve")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	memo := domino.NewDocument()
+	memo.SetText("SendTo", "supporters")
+	memo.SetText("From", "eve")
+	memo.SetText("Subject", "new ticket: printer on fire")
+	memo.SetText("Body", "please hurry")
+	if err := client.MailDeposit(memo); err != nil {
+		log.Fatal(err)
+	}
+	st, err := hq.Router().RouteOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hq router: delivered=%d forwarded=%d\n", st.Delivered, st.Forwarded)
+	st, err = branch.Router().RouteOnce()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch router: delivered=%d (bob's mail lives on branch)\n", st.Delivered)
+
+	adaMail, _ := hq.DB("mail/ada.nsf")
+	bobMail, _ := branch.DB("mail/bob.nsf")
+	fmt.Printf("ada inbox: %d message(s); bob inbox: %d message(s)\n",
+		adaMail.Count(), bobMail.Count())
+}

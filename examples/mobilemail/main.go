@@ -1,0 +1,122 @@
+// Mobilemail: the disconnected-laptop scenario the paper's groupware story
+// centers on. A user keeps a local replica of their server mail file, works
+// offline (reads, writes, deletes), then reconnects and replicates — only
+// the delta moves, and deletions propagate as stubs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	domino "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "domino-mobile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	replica := domino.NewReplicaID()
+	serverMail, err := domino.Open(filepath.Join(dir, "server-mail.nsf"),
+		domino.Options{Title: "ada's mail (server)", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer serverMail.Close()
+	laptop, err := domino.Open(filepath.Join(dir, "laptop-mail.nsf"),
+		domino.Options{Title: "ada's mail (laptop)", ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer laptop.Close()
+
+	// Mail arrives at the server while the laptop is connected.
+	deliver := func(db *domino.Database, subj string) *domino.Note {
+		m := domino.NewDocument()
+		m.SetText("Form", "Memo")
+		m.SetText("From", "various senders")
+		m.SetText("Subject", subj)
+		m.SetText("Body", "message body for "+subj)
+		if err := db.Session("router").Create(m); err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+	for i := 1; i <= 5; i++ {
+		deliver(serverMail, fmt.Sprintf("inbox message %d", i))
+	}
+
+	opts := domino.ReplicationOptions{PeerName: "server"}
+	stats, err := domino.Replicate(laptop, &domino.LocalPeer{DB: serverMail}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial sync: %s\n", stats)
+
+	// --- go offline ---
+	fmt.Println("\n-- laptop goes offline --")
+	// New mail keeps arriving at the server.
+	deliver(serverMail, "arrived while offline A")
+	deliver(serverMail, "arrived while offline B")
+	// Offline, ada deletes a message and drafts a reply.
+	ada := laptop.Session("ada")
+	var victim domino.UNID
+	ada.All(func(n *domino.Note) bool {
+		if n.Text("Subject") == "inbox message 3" {
+			victim = n.OID.UNID
+			return false
+		}
+		return true
+	})
+	if err := ada.Delete(victim); err != nil {
+		log.Fatal(err)
+	}
+	draft := domino.NewDocument()
+	draft.SetText("Form", "Memo")
+	draft.SetText("Subject", "re: inbox message 1 (written offline)")
+	draft.SetText("Body", "composed on a plane")
+	if err := ada.Create(draft); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("offline: deleted 'inbox message 3', drafted one reply")
+
+	// --- reconnect and sync: only the delta moves ---
+	fmt.Println("\n-- laptop reconnects --")
+	stats, err = domino.Replicate(laptop, &domino.LocalPeer{DB: serverMail}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta sync: %s\n", stats)
+	fmt.Printf("notes moved: %d pulled, %d pushed (not the whole mail file)\n",
+		stats.NotesFetched, stats.NotesSent)
+
+	// The offline delete propagated to the server as a deletion stub.
+	if _, err := serverMail.Session("ada").Get(victim); err != nil {
+		fmt.Println("server: 'inbox message 3' is gone (stub replicated)")
+	}
+	count := 0
+	serverMail.Session("ada").All(func(n *domino.Note) bool { count++; return true })
+	fmt.Printf("server mail file now shows %d live messages\n", count)
+
+	// Both replicas agree.
+	subjects := func(db *domino.Database) map[string]bool {
+		out := make(map[string]bool)
+		db.Session("ada").All(func(n *domino.Note) bool {
+			out[n.Text("Subject")] = true
+			return true
+		})
+		return out
+	}
+	s1, s2 := subjects(serverMail), subjects(laptop)
+	same := len(s1) == len(s2)
+	for k := range s1 {
+		if !s2[k] {
+			same = false
+		}
+	}
+	fmt.Printf("replicas converged: %v\n", same)
+}

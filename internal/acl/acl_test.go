@@ -1,0 +1,238 @@
+package acl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+func testDir(t *testing.T) *dir.Directory {
+	t.Helper()
+	d := dir.New()
+	for _, u := range []string{"alice", "bob", "carol", "dave"} {
+		if err := d.AddUser(dir.User{Name: u}); err != nil {
+			t.Fatalf("AddUser: %v", err)
+		}
+	}
+	if err := d.AddGroup("engineers", "alice", "bob"); err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	if err := d.AddGroup("staff", "engineers", "carol"); err != nil {
+		t.Fatalf("AddGroup: %v", err)
+	}
+	return d
+}
+
+func TestLevelOrdering(t *testing.T) {
+	if !(NoAccess < Depositor && Depositor < Reader && Reader < Author &&
+		Author < Editor && Editor < Designer && Designer < Manager) {
+		t.Fatal("level ordering broken")
+	}
+	l, err := ParseLevel("editor")
+	if err != nil || l != Editor {
+		t.Errorf("ParseLevel = %v, %v", l, err)
+	}
+	if _, err := ParseLevel("supreme"); err == nil {
+		t.Error("ParseLevel accepted bad level")
+	}
+}
+
+func TestAccessResolution(t *testing.T) {
+	d := testDir(t)
+	a := New(NoAccess)
+	a.Set("alice", Manager)
+	a.Set("engineers", Editor, "[dev]")
+	a.Set("staff", Reader, "[all]")
+
+	// Personal entry wins, but group roles accumulate.
+	lv, roles := a.Access("alice", d)
+	if lv != Manager {
+		t.Errorf("alice level = %v", lv)
+	}
+	if !reflect.DeepEqual(roles, []string{"[all]", "[dev]"}) {
+		t.Errorf("alice roles = %v", roles)
+	}
+	// Group-only user takes the strongest group level.
+	lv, roles = a.Access("bob", d)
+	if lv != Editor {
+		t.Errorf("bob level = %v", lv)
+	}
+	if !reflect.DeepEqual(roles, []string{"[all]", "[dev]"}) {
+		t.Errorf("bob roles = %v", roles)
+	}
+	// Nested group membership.
+	lv, _ = a.Access("carol", d)
+	if lv != Reader {
+		t.Errorf("carol level = %v", lv)
+	}
+	// No entry anywhere: default.
+	lv, _ = a.Access("dave", d)
+	if lv != NoAccess {
+		t.Errorf("dave level = %v", lv)
+	}
+	a.SetDefault(Reader)
+	lv, _ = a.Access("dave", d)
+	if lv != Reader {
+		t.Errorf("dave level with default = %v", lv)
+	}
+}
+
+func restrictedNote(readers, authors []string) *nsf.Note {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Subject", "s")
+	if readers != nil {
+		n.SetWithFlags("DocReaders", nsf.TextValue(readers...), nsf.FlagReaders)
+	}
+	if authors != nil {
+		n.SetWithFlags("DocAuthors", nsf.TextValue(authors...), nsf.FlagAuthors)
+	}
+	return n
+}
+
+func TestReaderFields(t *testing.T) {
+	d := testDir(t)
+	a := New(NoAccess)
+	a.Set("alice", Manager)
+	a.Set("bob", Reader)
+	a.Set("carol", Editor)
+
+	open := restrictedNote(nil, nil)
+	secret := restrictedNote([]string{"bob"}, nil)
+
+	alice := a.Resolve("alice", d)
+	bob := a.Resolve("bob", d)
+	carol := a.Resolve("carol", d)
+
+	if !alice.CanRead(open) || !bob.CanRead(open) {
+		t.Error("open note not readable")
+	}
+	// Reader fields restrict even Managers.
+	if alice.CanRead(secret) {
+		t.Error("manager read a note whose Readers exclude them")
+	}
+	if !bob.CanRead(secret) {
+		t.Error("listed reader denied")
+	}
+	if carol.CanRead(secret) {
+		t.Error("editor read a restricted note")
+	}
+	// Group membership grants reader access.
+	groupSecret := restrictedNote([]string{"engineers"}, nil)
+	if !alice.CanRead(groupSecret) || !bob.CanRead(groupSecret) {
+		t.Error("group reader denied")
+	}
+	if carol.CanRead(groupSecret) {
+		t.Error("non-member read group-restricted note")
+	}
+	// Authors can always read their own docs.
+	authored := restrictedNote([]string{"bob"}, []string{"carol"})
+	if !carol.CanRead(authored) {
+		t.Error("author denied read of own restricted doc")
+	}
+}
+
+func TestAuthorSemantics(t *testing.T) {
+	d := testDir(t)
+	a := New(NoAccess)
+	a.Set("alice", Author)
+	a.Set("bob", Editor)
+	a.Set("carol", Reader)
+	a.Set("dave", Depositor)
+
+	mine := restrictedNote(nil, []string{"alice"})
+	other := restrictedNote(nil, []string{"someone else"})
+
+	alice := a.Resolve("alice", d)
+	bob := a.Resolve("bob", d)
+	carol := a.Resolve("carol", d)
+	dave := a.Resolve("dave", d)
+
+	if !alice.CanCreate() {
+		t.Error("author cannot create")
+	}
+	if !alice.CanEdit(mine) {
+		t.Error("author cannot edit own doc")
+	}
+	if alice.CanEdit(other) {
+		t.Error("author edited someone else's doc")
+	}
+	if !bob.CanEdit(other) {
+		t.Error("editor cannot edit")
+	}
+	if carol.CanEdit(mine) || !carol.CanRead(mine) {
+		t.Error("reader semantics wrong")
+	}
+	if !dave.CanCreate() || dave.CanRead(mine) {
+		t.Error("depositor semantics wrong")
+	}
+}
+
+func TestRolesInReaderFields(t *testing.T) {
+	d := testDir(t)
+	a := New(NoAccess)
+	a.Set("alice", Reader, "[hr]")
+	a.Set("bob", Reader)
+	note := restrictedNote([]string{"[HR]"}, nil)
+	if !a.Resolve("alice", d).CanRead(note) {
+		t.Error("role-based reader denied")
+	}
+	if a.Resolve("bob", d).CanRead(note) {
+		t.Error("non-role reader allowed")
+	}
+}
+
+func TestDesignAndManage(t *testing.T) {
+	a := New(NoAccess)
+	a.Set("alice", Designer)
+	a.Set("bob", Manager)
+	if !a.Resolve("alice", nil).CanDesign() || a.Resolve("alice", nil).CanManageACL() {
+		t.Error("designer rights wrong")
+	}
+	if !a.Resolve("bob", nil).CanManageACL() {
+		t.Error("manager rights wrong")
+	}
+}
+
+func TestNoteRoundTrip(t *testing.T) {
+	a := New(Reader)
+	a.Set("alice", Manager, "[admin]", "[hr]")
+	a.Set("engineers", Editor)
+	note := nsf.NewNote(nsf.ClassACL)
+	a.WriteNote(note)
+	// Encode through the codec too, as the store would.
+	decoded, err := nsf.DecodeNote(nsf.EncodeNote(note))
+	if err != nil {
+		t.Fatalf("codec: %v", err)
+	}
+	b, err := FromNote(decoded)
+	if err != nil {
+		t.Fatalf("FromNote: %v", err)
+	}
+	if b.Default() != Reader {
+		t.Errorf("default = %v", b.Default())
+	}
+	if !reflect.DeepEqual(a.Entries(), b.Entries()) {
+		t.Errorf("entries mismatch:\n%v\n%v", a.Entries(), b.Entries())
+	}
+}
+
+func TestFromNoteRejectsCorrupt(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassACL)
+	n.SetText("$ACLNames", "a", "b")
+	n.SetNumber("$ACLLevels", 1)
+	n.SetText("$ACLRoles", "", "")
+	n.SetNumber("$ACLDefault", 2)
+	if _, err := FromNote(n); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	n2 := nsf.NewNote(nsf.ClassACL)
+	n2.SetText("$ACLNames", "a")
+	n2.SetNumber("$ACLLevels", 99)
+	n2.SetText("$ACLRoles", "")
+	n2.SetNumber("$ACLDefault", 2)
+	if _, err := FromNote(n2); err == nil {
+		t.Error("bad level accepted")
+	}
+}

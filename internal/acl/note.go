@@ -1,0 +1,64 @@
+package acl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nsf"
+)
+
+// Item names used to persist an ACL inside its database as a note of class
+// ClassACL, so the ACL itself replicates like any other note.
+const (
+	itemNames   = "$ACLNames"
+	itemLevels  = "$ACLLevels"
+	itemRoles   = "$ACLRoles"
+	itemDefault = "$ACLDefault"
+)
+
+// WriteNote serializes the ACL into note (class ClassACL). Existing ACL
+// items are replaced.
+func (a *ACL) WriteNote(note *nsf.Note) {
+	entries := a.Entries()
+	names := make([]string, len(entries))
+	levels := make([]float64, len(entries))
+	roles := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+		levels[i] = float64(e.Level)
+		roles[i] = strings.Join(e.Roles, ",")
+	}
+	note.Class = nsf.ClassACL
+	note.SetText(itemNames, names...)
+	note.SetNumber(itemLevels, levels...)
+	note.SetText(itemRoles, roles...)
+	note.SetNumber(itemDefault, float64(a.Default()))
+}
+
+// FromNote reconstructs an ACL from a note written by WriteNote.
+func FromNote(note *nsf.Note) (*ACL, error) {
+	names := note.TextList(itemNames)
+	levels := note.Get(itemLevels).Numbers
+	roles := note.TextList(itemRoles)
+	if len(names) != len(levels) || len(names) != len(roles) {
+		return nil, fmt.Errorf("acl: corrupt ACL note: %d names, %d levels, %d role sets",
+			len(names), len(levels), len(roles))
+	}
+	def := Level(int(note.Number(itemDefault)))
+	if def < NoAccess || def > Manager {
+		return nil, fmt.Errorf("acl: corrupt ACL note: default level %d", int(def))
+	}
+	a := New(def)
+	for i, name := range names {
+		lv := Level(int(levels[i]))
+		if lv < NoAccess || lv > Manager {
+			return nil, fmt.Errorf("acl: corrupt ACL note: level %d for %q", int(lv), name)
+		}
+		var rs []string
+		if roles[i] != "" {
+			rs = strings.Split(roles[i], ",")
+		}
+		a.Set(name, lv, rs...)
+	}
+	return a, nil
+}

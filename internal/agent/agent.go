@@ -1,0 +1,245 @@
+// Package agent implements Notes agents: formula programs that run against
+// selected documents, either on a schedule (or explicit invocation) or
+// triggered when documents are saved. Agents persist as design notes so
+// they replicate with the database.
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/nsf"
+)
+
+// Trigger selects when an agent runs.
+type Trigger int
+
+// Agent triggers.
+const (
+	// OnInvoke agents run when RunAgent is called (or on the server's
+	// schedule).
+	OnInvoke Trigger = iota
+	// OnSave agents run against each document as it is saved.
+	OnSave
+)
+
+// Agent is a compiled agent.
+type Agent struct {
+	Name string
+	// Signer is the user whose rights the agent runs with.
+	Signer  string
+	Trigger Trigger
+	// Selection restricts which documents the agent acts on.
+	Selection *formula.Formula
+	// Action is evaluated against each selected document; FIELD assignments
+	// modify it, and the document is saved if anything changed.
+	Action *formula.Formula
+}
+
+// New compiles an agent from formula sources.
+func New(name, signer string, trigger Trigger, selection, action string) (*Agent, error) {
+	sel, err := formula.Compile(selection)
+	if err != nil {
+		return nil, fmt.Errorf("agent %s: selection: %w", name, err)
+	}
+	act, err := formula.Compile(action)
+	if err != nil {
+		return nil, fmt.Errorf("agent %s: action: %w", name, err)
+	}
+	return &Agent{Name: name, Signer: signer, Trigger: trigger, Selection: sel, Action: act}, nil
+}
+
+// Agent design note items.
+const (
+	itemName      = "$AgentName"
+	itemSigner    = "$AgentSigner"
+	itemTrigger   = "$AgentTrigger"
+	itemSelection = "$AgentSelection"
+	itemAction    = "$AgentAction"
+)
+
+// ToNote serializes the agent into a design note.
+func (a *Agent) ToNote(n *nsf.Note) {
+	n.Class = nsf.ClassAgent
+	n.SetText(itemName, a.Name)
+	n.SetText(itemSigner, a.Signer)
+	n.SetNumber(itemTrigger, float64(a.Trigger))
+	n.SetText(itemSelection, a.Selection.Source())
+	n.SetText(itemAction, a.Action.Source())
+}
+
+// FromNote reconstructs an agent from its design note.
+func FromNote(n *nsf.Note) (*Agent, error) {
+	return New(
+		n.Text(itemName),
+		n.Text(itemSigner),
+		Trigger(int(n.Number(itemTrigger))),
+		n.Text(itemSelection),
+		n.Text(itemAction),
+	)
+}
+
+// Manager runs a database's agents. It is safe for concurrent use.
+type Manager struct {
+	db *core.Database
+
+	mu     sync.Mutex
+	agents []*Agent
+	// inflight guards against save-triggered agents re-triggering
+	// themselves through their own saves.
+	inflight map[nsf.UNID]bool
+}
+
+// NewManager creates a manager, loads agents persisted as design notes, and
+// hooks save-triggered agents into the database's change stream.
+func NewManager(db *core.Database) (*Manager, error) {
+	m := &Manager{db: db, inflight: make(map[nsf.UNID]bool)}
+	var loadErr error
+	err := db.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassAgent && !n.IsStub() {
+			a, err := FromNote(n)
+			if err != nil {
+				loadErr = err
+				return false
+			}
+			m.agents = append(m.agents, a)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	db.OnChange(m.onSave)
+	return m, nil
+}
+
+// Add registers an agent and persists it as a design note.
+func (m *Manager) Add(a *Agent) error {
+	n := nsf.NewNote(nsf.ClassAgent)
+	a.ToNote(n)
+	sess := m.db.Session(a.Signer)
+	if !sess.Identity().CanDesign() {
+		return fmt.Errorf("agent: %s may not add agents", a.Signer)
+	}
+	// Design notes go through the raw path (Create only handles documents).
+	now := m.db.Clock().Now()
+	n.OID.Seq = 1
+	n.OID.SeqTime = now
+	n.Created = now
+	if err := m.db.RawPut(n); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.agents = append(m.agents, a)
+	m.mu.Unlock()
+	return nil
+}
+
+// Agents returns the registered agents.
+func (m *Manager) Agents() []*Agent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Agent(nil), m.agents...)
+}
+
+// RunStats reports one agent run.
+type RunStats struct {
+	Examined int
+	Selected int
+	Modified int
+}
+
+// Run executes an OnInvoke agent over all documents it selects.
+func (m *Manager) Run(name string) (RunStats, error) {
+	var target *Agent
+	m.mu.Lock()
+	for _, a := range m.agents {
+		if a.Name == name {
+			target = a
+			break
+		}
+	}
+	m.mu.Unlock()
+	if target == nil {
+		return RunStats{}, fmt.Errorf("agent: no agent %q", name)
+	}
+	var stats RunStats
+	sess := m.db.Session(target.Signer)
+	var docs []*nsf.Note
+	err := sess.All(func(n *nsf.Note) bool {
+		stats.Examined++
+		docs = append(docs, n)
+		return true
+	})
+	if err != nil {
+		return stats, err
+	}
+	for _, n := range docs {
+		changed, selected, err := m.applyAgent(target, sess, n)
+		if err != nil {
+			return stats, err
+		}
+		if selected {
+			stats.Selected++
+		}
+		if changed {
+			stats.Modified++
+		}
+	}
+	return stats, nil
+}
+
+// applyAgent runs one agent against one document.
+func (m *Manager) applyAgent(a *Agent, sess *core.Session, n *nsf.Note) (changed, selected bool, err error) {
+	ok, err := a.Selection.Selects(n, &formula.Context{UserName: a.Signer, Now: m.db.Clock().Now})
+	if err != nil || !ok {
+		return false, false, err
+	}
+	work := n.Clone()
+	if _, err := a.Action.Eval(&formula.Context{Note: work, UserName: a.Signer, Now: m.db.Clock().Now}); err != nil {
+		return false, true, fmt.Errorf("agent %s: action: %w", a.Name, err)
+	}
+	if len(work.ChangedItems(n)) == 0 {
+		return false, true, nil
+	}
+	m.mu.Lock()
+	m.inflight[n.OID.UNID] = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.inflight, n.OID.UNID)
+		m.mu.Unlock()
+	}()
+	if err := sess.Update(work); err != nil {
+		return false, true, err
+	}
+	return true, true, nil
+}
+
+// onSave runs save-triggered agents against a just-saved document.
+func (m *Manager) onSave(n *nsf.Note) {
+	if n.IsStub() || n.Class != nsf.ClassDocument {
+		return
+	}
+	m.mu.Lock()
+	if m.inflight[n.OID.UNID] {
+		m.mu.Unlock()
+		return
+	}
+	agents := append([]*Agent(nil), m.agents...)
+	m.mu.Unlock()
+	for _, a := range agents {
+		if a.Trigger != OnSave {
+			continue
+		}
+		sess := m.db.Session(a.Signer)
+		// Errors in save triggers are swallowed by design: a broken agent
+		// must not block saves (Notes logs them; we drop them).
+		_, _, _ = m.applyAgent(a, sess, n)
+	}
+}

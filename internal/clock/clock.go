@@ -1,0 +1,55 @@
+// Package clock provides a hybrid logical clock: timestamps that track wall
+// time but are guaranteed strictly monotonic per process. Replication uses
+// them as originator sequence times, so ties between two saves on the same
+// machine can never occur.
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nsf"
+)
+
+// Clock issues strictly increasing nsf.Timestamps.
+type Clock struct {
+	mu   sync.Mutex
+	last nsf.Timestamp
+	// now is the wall-time source; tests may replace it.
+	now func() time.Time
+}
+
+// New returns a Clock backed by the system wall clock.
+func New() *Clock {
+	return &Clock{now: time.Now}
+}
+
+// NewAt returns a Clock backed by the given wall-time source; useful for
+// deterministic tests and simulations.
+func NewAt(now func() time.Time) *Clock {
+	return &Clock{now: now}
+}
+
+// Now returns a timestamp strictly greater than every previous timestamp
+// issued by c, never behind the wall clock.
+func (c *Clock) Now() nsf.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := nsf.TimestampOf(c.now())
+	if t <= c.last {
+		t = c.last + 1
+	}
+	c.last = t
+	return t
+}
+
+// Observe advances the clock past a timestamp seen from elsewhere (for
+// example a replication peer), so that locally issued timestamps remain
+// ahead of everything this node has witnessed.
+func (c *Clock) Observe(t nsf.Timestamp) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.last {
+		c.last = t
+	}
+}

@@ -1,0 +1,69 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nsf"
+)
+
+func TestMonotonic(t *testing.T) {
+	c := New()
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		cur := c.Now()
+		if cur <= prev {
+			t.Fatalf("timestamp went backwards: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestFrozenWallClockStillAdvances(t *testing.T) {
+	fixed := time.Unix(1000, 0)
+	c := NewAt(func() time.Time { return fixed })
+	a, b := c.Now(), c.Now()
+	if b != a+1 {
+		t.Errorf("frozen clock: got %d then %d, want +1 steps", a, b)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	fixed := time.Unix(1000, 0)
+	c := NewAt(func() time.Time { return fixed })
+	future := nsf.TimestampOf(fixed.Add(time.Hour))
+	c.Observe(future)
+	if got := c.Now(); got <= future {
+		t.Errorf("Now after Observe = %d, want > %d", got, future)
+	}
+	// Observing the past must not rewind.
+	c.Observe(1)
+	if got := c.Now(); got <= future {
+		t.Errorf("Observe rewound the clock: %d", got)
+	}
+}
+
+func TestConcurrentUnique(t *testing.T) {
+	c := New()
+	const goroutines, per = 8, 2000
+	seen := make([]nsf.Timestamp, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[g*per+i] = c.Now()
+			}
+		}(g)
+	}
+	wg.Wait()
+	uniq := make(map[nsf.Timestamp]bool, len(seen))
+	for _, ts := range seen {
+		if uniq[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		uniq[ts] = true
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nsf"
+	"repro/internal/store"
+)
+
+func TestArchiveMovesOldDocuments(t *testing.T) {
+	src := openDB(t, Options{Title: "live"})
+	dst := openDB(t, Options{Title: "archive"})
+	s := src.Session("ada")
+	old1 := memo("old one")
+	old2 := memo("old two")
+	s.Create(old1)
+	s.Create(old2)
+	cutoff := src.Clock().Now()
+	fresh := memo("fresh")
+	s.Create(fresh)
+
+	stats, err := src.ArchiveTo(dst, cutoff)
+	if err != nil {
+		t.Fatalf("ArchiveTo: %v", err)
+	}
+	if stats.Moved != 2 || stats.Skipped != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Old docs are gone from the source (stubs remain) and live in the
+	// archive with their identity intact.
+	for _, n := range []*nsf.Note{old1, old2} {
+		if _, err := s.Get(n.OID.UNID); !errors.Is(err, ErrNotFound) {
+			t.Errorf("archived doc still live in source: %v", err)
+		}
+		stub, err := src.RawGet(n.OID.UNID)
+		if err != nil || !stub.IsStub() {
+			t.Errorf("no stub left behind: %v", err)
+		}
+		got, err := dst.RawGet(n.OID.UNID)
+		if err != nil || got.Text("Subject") != n.Text("Subject") {
+			t.Errorf("archive missing doc: %v", err)
+		}
+	}
+	if _, err := s.Get(fresh.OID.UNID); err != nil {
+		t.Errorf("fresh doc archived prematurely: %v", err)
+	}
+	// Re-archiving is a no-op (stubs are skipped entirely).
+	stats, err = src.ArchiveTo(dst, src.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Moved != 1 { // only "fresh" is now older than the new cutoff
+		t.Errorf("second pass stats = %+v", stats)
+	}
+}
+
+func TestArchiveRejectsReplicaTarget(t *testing.T) {
+	replica := nsf.NewReplicaID()
+	src := openDB(t, Options{ReplicaID: replica})
+	twin := openDB(t, Options{ReplicaID: replica})
+	if _, err := src.ArchiveTo(twin, src.Clock().Now()); err == nil {
+		t.Error("archiving into a replica accepted")
+	}
+	if _, err := src.ArchiveTo(src, src.Clock().Now()); err == nil {
+		t.Error("archiving into self accepted")
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	db := openDB(t, Options{Store: store.Options{QuotaBytes: 96 * 1024}})
+	s := db.Session("ada")
+	var hitQuota bool
+	var kept int
+	for i := 0; i < 500; i++ {
+		n := memo("filler")
+		n.SetText("Body", string(make([]byte, 2048)))
+		err := s.Create(n)
+		if err != nil {
+			if !errors.Is(err, store.ErrQuotaExceeded) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			hitQuota = true
+			break
+		}
+		kept++
+	}
+	if !hitQuota {
+		t.Fatal("quota never enforced")
+	}
+	if kept == 0 {
+		t.Fatal("quota rejected the first document")
+	}
+	// Reads still work at quota.
+	count := 0
+	s.All(func(n *nsf.Note) bool { count++; return true })
+	if count != kept {
+		t.Errorf("readable docs = %d, want %d", count, kept)
+	}
+	// Deleting works at quota (stubs shrink the live set), and compaction
+	// then makes room again.
+	var victim nsf.UNID
+	s.All(func(n *nsf.Note) bool { victim = n.OID.UNID; return false })
+	if err := s.Delete(victim); err != nil {
+		t.Fatalf("delete at quota: %v", err)
+	}
+	if _, err := db.PurgeStubs(db.Clock().Now() + 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Compact(); err != nil {
+		t.Fatalf("compact at quota: %v", err)
+	}
+	if err := s.Create(memo("fits again")); err != nil {
+		t.Errorf("create after compaction: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nsf"
+	"repro/internal/view"
+)
+
+// TestConcurrentSessions hammers one database from many goroutines doing
+// mixed creates, reads, updates, deletes, view reads, and searches. It is
+// primarily a race-detector target; it also checks the final count adds up.
+func TestConcurrentSessions(t *testing.T) {
+	db := openDB(t, Options{})
+	def, _ := view.NewDefinition("all", "SELECT @All",
+		view.Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err := db.AddView(nil, def); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableFullText(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 4
+		readers = 4
+		perG    = 100
+	)
+	var wg sync.WaitGroup
+	created := make([][]nsf.UNID, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("writer%d", w))
+			for i := 0; i < perG; i++ {
+				n := nsf.NewNote(nsf.ClassDocument)
+				n.SetText("Subject", fmt.Sprintf("w%d-%d", w, i))
+				if err := sess.Create(n); err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+				created[w] = append(created[w], n.OID.UNID)
+				if i%3 == 0 {
+					n.SetText("Body", "edited")
+					if err := sess.Update(n); err != nil {
+						t.Errorf("Update: %v", err)
+						return
+					}
+				}
+				if i%10 == 9 {
+					if err := sess.Delete(created[w][i-5]); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("reader%d", r))
+			for i := 0; i < perG; i++ {
+				if _, err := sess.Rows("all"); err != nil {
+					t.Errorf("Rows: %v", err)
+					return
+				}
+				if _, err := sess.Search("edited"); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				sess.All(func(n *nsf.Note) bool { return true })
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Each writer created perG docs and deleted perG/10.
+	wantLive := writers * (perG - perG/10)
+	live := 0
+	db.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && !n.IsStub() {
+			live++
+		}
+		return true
+	})
+	if live != wantLive {
+		t.Errorf("live docs = %d, want %d", live, wantLive)
+	}
+	// The view settles to the same count.
+	ix, _ := db.View("all")
+	if ix.Len() != wantLive {
+		t.Errorf("view entries = %d, want %d", ix.Len(), wantLive)
+	}
+}
+
+// TestConcurrentReplicationAndWrites replicates while both replicas take
+// writes, then settles and checks convergence of counts.
+func TestConcurrentReplicationAndWrites(t *testing.T) {
+	replica := nsf.NewReplicaID()
+	a := openDB(t, Options{ReplicaID: replica})
+	b := openDB(t, Options{ReplicaID: replica})
+	var wg sync.WaitGroup
+	for g, db := range []*Database{a, b} {
+		wg.Add(1)
+		go func(g int, db *Database) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("user%d", g))
+			for i := 0; i < 150; i++ {
+				n := nsf.NewNote(nsf.ClassDocument)
+				n.SetText("Subject", fmt.Sprintf("g%d-%d", g, i))
+				if err := sess.Create(n); err != nil {
+					t.Errorf("Create: %v", err)
+					return
+				}
+			}
+		}(g, db)
+	}
+	// Replicate concurrently with the writers; results may be partial but
+	// must never error or corrupt.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := replicateLocal(a, b, "b"); err != nil {
+				t.Errorf("concurrent replicate: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Settle.
+	for i := 0; i < 3; i++ {
+		if _, err := replicateLocal(a, b, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countDocs := func(db *Database) int {
+		n := 0
+		db.ScanAll(func(x *nsf.Note) bool {
+			if x.Class == nsf.ClassDocument && !x.IsStub() {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	ca, cb := countDocs(a), countDocs(b)
+	if ca != 300 || cb != 300 {
+		t.Errorf("counts after settle: a=%d b=%d, want 300 each", ca, cb)
+	}
+}
+
+// replicateLocal avoids importing repl (cycle: repl imports core) by going
+// through the database's raw surfaces the way the replicator does — a
+// minimal pull-push: copy everything modified on either side.
+func replicateLocal(a, b *Database, _ string) (int, error) {
+	moved := 0
+	copyNewer := func(src, dst *Database) error {
+		var batch []*nsf.Note
+		err := src.ScanAll(func(n *nsf.Note) bool {
+			if n.Class == nsf.ClassReplFormula {
+				return true
+			}
+			batch = append(batch, n)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, n := range batch {
+			cur, err := dst.RawGet(n.OID.UNID)
+			if errors.Is(err, ErrNotFound) {
+				if err := dst.RawPut(n.Clone()); err != nil {
+					return err
+				}
+				moved++
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if n.OID.Newer(cur.OID) {
+				if err := dst.RawPut(n.Clone()); err != nil {
+					return err
+				}
+				moved++
+			}
+		}
+		return nil
+	}
+	if err := copyNewer(a, b); err != nil {
+		return moved, err
+	}
+	if err := copyNewer(b, a); err != nil {
+		return moved, err
+	}
+	return moved, nil
+}

@@ -1,0 +1,390 @@
+// Package core implements the NSF database object: note CRUD with
+// originator-ID versioning and deletion stubs, ACL and Reader/Author
+// enforcement through sessions, persistent view definitions with
+// incrementally maintained indexes, optional full-text indexing, and the
+// raw interfaces the replicator uses.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/acl"
+	"repro/internal/clock"
+	"repro/internal/dir"
+	"repro/internal/formula"
+	"repro/internal/ft"
+	"repro/internal/nsf"
+	"repro/internal/store"
+	"repro/internal/view"
+)
+
+// ErrNotFound is returned when a requested note does not exist (aliases the
+// storage engine's error for errors.Is convenience).
+var ErrNotFound = store.ErrNotFound
+
+// ErrAccessDenied is returned when the session's identity lacks the rights
+// for an operation.
+var ErrAccessDenied = errors.New("core: access denied")
+
+// Options configure a Database.
+type Options struct {
+	// Title is the database title (used on creation).
+	Title string
+	// ReplicaID makes the new database a replica of an existing one; zero
+	// generates a fresh replica ID.
+	ReplicaID nsf.ReplicaID
+	// Directory resolves groups for ACL checks; may be nil.
+	Directory *dir.Directory
+	// Clock supplies timestamps; nil uses a new wall clock.
+	Clock *clock.Clock
+	// Store passes through storage engine options (sync, checkpointing).
+	Store store.Options
+}
+
+// Database is an open NSF database.
+type Database struct {
+	st    *store.Store
+	clock *clock.Clock
+	dirs  *dir.Directory
+
+	mu       sync.RWMutex
+	acl      *acl.ACL
+	views    map[string]*view.Index
+	ftIndex  *ft.Index
+	onChange []func(*nsf.Note)
+	unread   map[string]*unreadTable
+}
+
+// Open opens or creates the database file at path.
+func Open(path string, opts Options) (*Database, error) {
+	ck := opts.Clock
+	if ck == nil {
+		ck = clock.New()
+	}
+	sopts := opts.Store
+	sopts.ReplicaID = opts.ReplicaID
+	sopts.Title = opts.Title
+	if sopts.Created == 0 {
+		sopts.Created = ck.Now()
+	}
+	st, err := store.Open(path, sopts)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{st: st, clock: ck, dirs: opts.Directory, views: make(map[string]*view.Index)}
+	if err := db.loadDesign(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// loadDesign reads the ACL note and view design notes.
+func (db *Database) loadDesign() error {
+	db.acl = acl.New(acl.Manager) // open until an ACL note says otherwise
+	var designs []*nsf.Note
+	err := db.st.ScanAll(func(n *nsf.Note) bool {
+		switch n.Class {
+		case nsf.ClassACL:
+			if !n.IsStub() {
+				designs = append(designs, n)
+			}
+		case nsf.ClassView:
+			if !n.IsStub() {
+				designs = append(designs, n)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, n := range designs {
+		switch n.Class {
+		case nsf.ClassACL:
+			a, err := acl.FromNote(n)
+			if err != nil {
+				return err
+			}
+			db.acl = a
+		case nsf.ClassView:
+			if n.Has(itemFolderTitle) {
+				continue // folders carry membership, not an index definition
+			}
+			def, err := defFromNote(n)
+			if err != nil {
+				return fmt.Errorf("core: view note %s: %w", n.OID.UNID, err)
+			}
+			ix := view.NewIndex(def)
+			if err := db.rebuildView(ix); err != nil {
+				return err
+			}
+			db.views[strings.ToLower(def.Name)] = ix
+		}
+	}
+	return nil
+}
+
+// Close persists the full-text sidecar (when enabled), checkpoints, and
+// closes the database.
+func (db *Database) Close() error {
+	ftErr := db.SaveFullText()
+	err := db.st.Close()
+	if err == nil {
+		err = ftErr
+	}
+	return err
+}
+
+// ReplicaID returns the database's replica identity.
+func (db *Database) ReplicaID() nsf.ReplicaID { return db.st.ReplicaID() }
+
+// Title returns the database title.
+func (db *Database) Title() string { return db.st.Title() }
+
+// Count returns the number of notes including stubs and design notes.
+func (db *Database) Count() int { return db.st.Count() }
+
+// Clock returns the database's clock (shared with its server).
+func (db *Database) Clock() *clock.Clock { return db.clock }
+
+// Stats returns storage statistics.
+func (db *Database) Stats() store.Stats { return db.st.Stats() }
+
+// ACL returns the database ACL.
+func (db *Database) ACL() *acl.ACL {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.acl
+}
+
+// OnChange registers fn to run after every note change (including
+// replication applies and stub creation). Callbacks run synchronously on
+// the writing goroutine and must not call back into the database.
+func (db *Database) OnChange(fn func(*nsf.Note)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onChange = append(db.onChange, fn)
+}
+
+// aclNoteUNID derives the deterministic UNID of the ACL note so that every
+// replica addresses the same logical note and the ACL itself replicates.
+func aclNoteUNID(r nsf.ReplicaID) nsf.UNID {
+	var u nsf.UNID
+	copy(u[:8], r[:])
+	copy(u[8:], "ACLNOTE!")
+	return u
+}
+
+// SaveACL persists the current ACL as the database's ACL note so it
+// replicates. The caller's identity must hold Manager access; pass a nil
+// session for administrative (server-local) writes.
+func (db *Database) SaveACL(s *Session) error {
+	if s != nil && !s.Identity().CanManageACL() {
+		return fmt.Errorf("%w: %s may not modify the ACL", ErrAccessDenied, s.User())
+	}
+	unid := aclNoteUNID(db.ReplicaID())
+	n, err := db.st.GetByUNID(unid)
+	if errors.Is(err, ErrNotFound) {
+		n = &nsf.Note{OID: nsf.OID{UNID: unid}, Class: nsf.ClassACL, Created: db.clock.Now()}
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	db.mu.RLock()
+	a := db.acl
+	db.mu.RUnlock()
+	a.WriteNote(n)
+	return db.putVersioned(n)
+}
+
+// putVersioned advances a note's OID and stores it.
+func (db *Database) putVersioned(n *nsf.Note) error {
+	now := db.clock.Now()
+	old, err := db.st.GetByUNID(n.OID.UNID)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		n.OID.Seq = 1
+		if n.Created == 0 {
+			n.Created = now
+		}
+		for i := range n.Items {
+			n.Items[i].Rev = 1
+		}
+	case err != nil:
+		return err
+	default:
+		n.ID = old.ID
+		n.OID.Seq = old.OID.Seq + 1
+		n.Created = old.Created
+		// Stamp per-item revisions: items whose values changed carry the
+		// new sequence number (field-level merge uses these).
+		for i := range n.Items {
+			oldIt, ok := old.Item(n.Items[i].Name)
+			if ok && oldIt.Value.Equal(n.Items[i].Value) && oldIt.Flags == n.Items[i].Flags {
+				n.Items[i].Rev = oldIt.Rev
+			} else {
+				n.Items[i].Rev = n.OID.Seq
+			}
+		}
+	}
+	n.OID.SeqTime = now
+	n.Modified = now
+	if err := db.st.Put(n); err != nil {
+		return err
+	}
+	db.noteChanged(n)
+	return nil
+}
+
+// noteChanged propagates a stored note to views, the full-text index, and
+// subscribers.
+func (db *Database) noteChanged(n *nsf.Note) {
+	db.mu.RLock()
+	views := make([]*view.Index, 0, len(db.views))
+	for _, ix := range db.views {
+		views = append(views, ix)
+	}
+	fti := db.ftIndex
+	subs := append([]func(*nsf.Note){}, db.onChange...)
+	db.mu.RUnlock()
+	ctx := db.evalContext("")
+	for _, ix := range views {
+		// Design changes to the view itself are handled by AddView; data
+		// note errors here indicate a broken column formula — surface by
+		// dropping the note from the view rather than failing the write.
+		if _, err := ix.Update(n, ctx); err != nil {
+			ix.Remove(n.OID.UNID)
+		}
+	}
+	if fti != nil {
+		fti.Update(n)
+	}
+	for _, fn := range subs {
+		fn(n)
+	}
+}
+
+func (db *Database) evalContext(user string) *formula.Context {
+	return &formula.Context{UserName: user, Now: db.clock.Now}
+}
+
+// --- raw (trusted) access, used by the replicator and server tasks ---
+
+// RawGet returns a note bypassing ACL checks.
+func (db *Database) RawGet(unid nsf.UNID) (*nsf.Note, error) { return db.st.GetByUNID(unid) }
+
+// RawPut stores a note without touching its OID (the replicator supplies
+// complete OIDs from the source replica). Views, full-text, and change
+// subscribers still fire.
+func (db *Database) RawPut(n *nsf.Note) error {
+	db.clock.Observe(n.OID.SeqTime)
+	db.clock.Observe(n.Modified)
+	// Preserve the local NoteID if this UNID already exists.
+	n.ID = 0
+	if old, err := db.st.GetByUNID(n.OID.UNID); err == nil {
+		n.ID = old.ID
+	} else if !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	// Replication must not regress the local modification index: stamp the
+	// local receive time so ScanModifiedSince finds the note for onward
+	// replication, while the OID keeps the original version identity.
+	n.Modified = db.clock.Now()
+	if err := db.st.Put(n); err != nil {
+		return err
+	}
+	// A design note arriving by replication must take effect.
+	if n.Class == nsf.ClassACL && !n.IsStub() {
+		if a, err := acl.FromNote(n); err == nil {
+			db.mu.Lock()
+			db.acl = a
+			db.mu.Unlock()
+		}
+	}
+	if n.Class == nsf.ClassView && !n.IsStub() {
+		if def, err := defFromNote(n); err == nil {
+			ix := view.NewIndex(def)
+			if err := db.rebuildView(ix); err == nil {
+				db.mu.Lock()
+				db.views[strings.ToLower(def.Name)] = ix
+				db.mu.Unlock()
+			}
+		}
+	}
+	db.noteChanged(n)
+	return nil
+}
+
+// RawDelete removes a note physically, bypassing stubs (used by the stub
+// purger).
+func (db *Database) RawDelete(unid nsf.UNID) error {
+	err := db.st.Delete(unid)
+	if err != nil {
+		return err
+	}
+	db.mu.RLock()
+	views := make([]*view.Index, 0, len(db.views))
+	for _, ix := range db.views {
+		views = append(views, ix)
+	}
+	fti := db.ftIndex
+	db.mu.RUnlock()
+	for _, ix := range views {
+		ix.Remove(unid)
+	}
+	if fti != nil {
+		fti.Remove(unid)
+	}
+	return nil
+}
+
+// ScanModifiedSince exposes the replication scan: all notes (stubs
+// included) modified after since, in modification order.
+func (db *Database) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) error {
+	return db.st.ScanModifiedSince(since, fn)
+}
+
+// ScanAll visits every note, stubs and design notes included.
+func (db *Database) ScanAll(fn func(*nsf.Note) bool) error { return db.st.ScanAll(fn) }
+
+// PurgeStubs hard-deletes deletion stubs whose deletion happened before
+// cutoff, returning how many were purged. A replica that has not synced
+// since the cutoff can resurrect those deletes — exactly the documented
+// Notes anomaly (see the T3 experiment).
+func (db *Database) PurgeStubs(cutoff nsf.Timestamp) (int, error) {
+	var victims []nsf.UNID
+	err := db.st.ScanAll(func(n *nsf.Note) bool {
+		if n.IsStub() && n.OID.SeqTime < cutoff {
+			victims = append(victims, n.OID.UNID)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, u := range victims {
+		if err := db.RawDelete(u); err != nil {
+			return 0, err
+		}
+	}
+	return len(victims), nil
+}
+
+// Checkpoint forces a storage checkpoint.
+func (db *Database) Checkpoint() error { return db.st.Checkpoint() }
+
+// Compact rewrites the database file to reclaim dead space (the Domino
+// "compact" server task). Note identities are preserved, so views, the
+// full-text index, and replication state remain valid. It returns the
+// number of pages reclaimed.
+func (db *Database) Compact() (int, error) { return db.st.Compact() }
+
+// Verify checks the storage structures for cross-consistency (Domino's
+// "fixup" in detect-only mode) and returns a description of each problem
+// found; empty means healthy.
+func (db *Database) Verify() []string { return db.st.Verify() }

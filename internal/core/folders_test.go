@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/nsf"
+)
+
+func TestFolderLifecycle(t *testing.T) {
+	db := openDB(t, Options{})
+	s := db.Session("ada")
+	if err := db.CreateFolder(nil, "inbox stuff"); err != nil {
+		t.Fatalf("CreateFolder: %v", err)
+	}
+	if err := db.CreateFolder(nil, "inbox stuff"); err == nil {
+		t.Error("duplicate folder created")
+	}
+	folders, err := db.Folders()
+	if err != nil || !reflect.DeepEqual(folders, []string{"inbox stuff"}) {
+		t.Fatalf("Folders = %v, %v", folders, err)
+	}
+	a := memo("first")
+	b := memo("second")
+	s.Create(a)
+	s.Create(b)
+	if err := s.AddToFolder("inbox stuff", a.OID.UNID); err != nil {
+		t.Fatalf("AddToFolder: %v", err)
+	}
+	if err := s.AddToFolder("inbox stuff", b.OID.UNID); err != nil {
+		t.Fatalf("AddToFolder: %v", err)
+	}
+	// Idempotent.
+	if err := s.AddToFolder("inbox stuff", a.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := s.FolderContents("inbox stuff")
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("FolderContents = %d docs, %v", len(docs), err)
+	}
+	if docs[0].Text("Subject") != "first" {
+		t.Errorf("insertion order lost: %q", docs[0].Text("Subject"))
+	}
+	removed, err := s.RemoveFromFolder("inbox stuff", a.OID.UNID)
+	if err != nil || !removed {
+		t.Fatalf("RemoveFromFolder = %v, %v", removed, err)
+	}
+	if removed, _ := s.RemoveFromFolder("inbox stuff", a.OID.UNID); removed {
+		t.Error("double remove reported membership")
+	}
+	// Deleted docs silently drop out of contents.
+	s.Delete(b.OID.UNID)
+	docs, _ = s.FolderContents("inbox stuff")
+	if len(docs) != 0 {
+		t.Errorf("deleted doc still in folder: %d", len(docs))
+	}
+	if _, err := s.FolderContents("missing"); err == nil {
+		t.Error("missing folder did not error")
+	}
+}
+
+func TestFolderRequiresDesigner(t *testing.T) {
+	db := openDB(t, Options{})
+	db.ACL().Set("mortal", acl.Editor)
+	if err := db.CreateFolder(db.Session("mortal"), "f"); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("editor created folder: %v", err)
+	}
+}
+
+func TestFolderReplicates(t *testing.T) {
+	replica := nsf.NewReplicaID()
+	a := openDB(t, Options{ReplicaID: replica})
+	b := openDB(t, Options{ReplicaID: replica})
+	s := a.Session("ada")
+	db := a
+	if err := db.CreateFolder(nil, "shared folder"); err != nil {
+		t.Fatal(err)
+	}
+	n := memo("foldered")
+	s.Create(n)
+	s.AddToFolder("shared folder", n.OID.UNID)
+	// Raw-copy everything to b (replication path).
+	a.ScanAll(func(x *nsf.Note) bool {
+		if err := b.RawPut(x.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	folders, _ := b.Folders()
+	if !reflect.DeepEqual(folders, []string{"shared folder"}) {
+		t.Fatalf("folders at b = %v", folders)
+	}
+	docs, err := b.Session("ada").FolderContents("shared folder")
+	if err != nil || len(docs) != 1 {
+		t.Errorf("folder contents at b = %d, %v", len(docs), err)
+	}
+}
+
+func TestProfileDocuments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.nsf")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("ada")
+	p, err := s.Profile("settings", "ada")
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	p.SetText("Theme", "dark")
+	if err := s.SaveProfile(p); err != nil {
+		t.Fatalf("SaveProfile: %v", err)
+	}
+	// Same name+user yields the same document.
+	again, _ := s.Profile("settings", "ada")
+	if again.OID.UNID != p.OID.UNID || again.Text("Theme") != "dark" {
+		t.Errorf("profile identity broken: %v", again)
+	}
+	// Different user or database-wide profile is a different doc.
+	bobP, _ := db.Session("bob").Profile("settings", "bob")
+	if bobP.OID.UNID == p.OID.UNID {
+		t.Error("per-user profiles collided")
+	}
+	global, _ := s.Profile("settings", "")
+	if global.OID.UNID == p.OID.UNID {
+		t.Error("global profile collided with per-user")
+	}
+	if !IsProfile(p) || IsProfile(memo("x")) {
+		t.Error("IsProfile misclassifies")
+	}
+	// Persists across reopen.
+	db.Close()
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	p2, err := db2.Session("ada").Profile("settings", "ada")
+	if err != nil || p2.Text("Theme") != "dark" {
+		t.Errorf("profile lost: %v %v", p2, err)
+	}
+	// Saving a non-profile errors.
+	if err := db2.Session("ada").SaveProfile(memo("nope")); err == nil {
+		t.Error("SaveProfile accepted non-profile")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ft"
+	"repro/internal/nsf"
+)
+
+// Full-text index persistence. Like Domino's .ft directories, the index is
+// kept in a sidecar file next to the database (path + ".ft") so
+// EnableFullText on a large database loads a snapshot and catches up from
+// the modification index instead of re-tokenizing everything.
+//
+// Sidecar format: magic "NSFFT001", the catch-up cursor (the clock reading
+// at save time, 8 bytes), then the ft.Index snapshot. Snapshots are local
+// state and never replicate.
+const ftSidecarMagic = "NSFFT001"
+
+func (db *Database) ftSidecarPath() string { return db.st.Path() + ".ft" }
+
+// EnableFullText builds or loads the database's full-text index; after it
+// returns, the index is maintained incrementally, and Close persists it.
+func (db *Database) EnableFullText() error {
+	if ix, err := db.loadFullText(); err == nil {
+		db.mu.Lock()
+		db.ftIndex = ix
+		db.mu.Unlock()
+		return nil
+	}
+	// No usable snapshot: full build.
+	ix := ft.NewIndex()
+	err := db.st.ScanAll(func(n *nsf.Note) bool {
+		ix.Update(n)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.ftIndex = ix
+	db.mu.Unlock()
+	return nil
+}
+
+// loadFullText loads the sidecar snapshot and catches up: documents that
+// vanished while the index was offline are dropped, and everything
+// modified since the cursor is re-indexed.
+func (db *Database) loadFullText() (*ft.Index, error) {
+	f, err := os.Open(db.ftSidecarPath())
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(ftSidecarMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != ftSidecarMagic {
+		return nil, fmt.Errorf("core: bad full-text sidecar magic %q", magic)
+	}
+	var cursorBuf [8]byte
+	if _, err := io.ReadFull(f, cursorBuf[:]); err != nil {
+		return nil, err
+	}
+	cursor := nsf.Timestamp(binary.LittleEndian.Uint64(cursorBuf[:]))
+	ix, err := ft.ReadIndex(f)
+	if err != nil {
+		return nil, err
+	}
+	// Drop documents hard-deleted (e.g. purged stubs) while offline.
+	for _, u := range ix.Docs() {
+		ok, err := db.st.Exists(u)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			ix.Remove(u)
+		}
+	}
+	// Catch up on everything modified since the snapshot.
+	err = db.st.ScanModifiedSince(cursor, func(n *nsf.Note) bool {
+		ix.Update(n)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// SaveFullText writes the full-text sidecar snapshot (a no-op when
+// full-text is not enabled). Close calls it automatically.
+func (db *Database) SaveFullText() error {
+	db.mu.RLock()
+	ix := db.ftIndex
+	db.mu.RUnlock()
+	if ix == nil {
+		return nil
+	}
+	// Take the cursor before snapshotting: writes racing the save will be
+	// re-indexed by the next catch-up, never lost.
+	cursor := db.clock.Now()
+	tmp := db.ftSidecarPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if _, err := f.Write([]byte(ftSidecarMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	var cursorBuf [8]byte
+	binary.LittleEndian.PutUint64(cursorBuf[:], uint64(cursor))
+	if _, err := f.Write(cursorBuf[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.ftSidecarPath())
+}
+
+// DropFullTextSidecar deletes the persisted snapshot (e.g. before a manual
+// full rebuild).
+func (db *Database) DropFullTextSidecar() error {
+	err := os.Remove(db.ftSidecarPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/nsf"
+)
+
+// Field-level encryption. Notes lets a form encrypt selected fields for
+// named users; only they can read the values, even though the document
+// itself replicates everywhere and other items stay readable. This
+// reproduction seals an item with AES-256-GCM under a random content key,
+// and wraps that key for each recipient under a key derived from the
+// recipient's directory secret (the stand-in for Notes public keys, like
+// signing).
+//
+// Layout on the note: the sealed item keeps its name, carries FlagSealed,
+// and its value is the GCM ciphertext of the original value's canonical
+// encoding. A companion item "$Seal:<name>" stores the nonce and the
+// per-recipient wrapped keys.
+
+// ErrNotRecipient is returned when the session's user cannot unseal an item.
+var ErrNotRecipient = errors.New("core: not a recipient of this sealed item")
+
+const sealPrefix = "$Seal:"
+
+// userKey derives a recipient's key-wrapping key.
+func (db *Database) userKey(user string) ([]byte, error) {
+	if db.dirs == nil {
+		return nil, errors.New("core: sealing requires a directory")
+	}
+	u, ok := db.dirs.Lookup(user)
+	if !ok || u.Secret == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoSecret, user)
+	}
+	k := sha256.Sum256([]byte("seal:" + strings.ToLower(u.Name) + ":" + u.Secret))
+	return k[:], nil
+}
+
+func gcmFor(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// SealItem encrypts the named item's value so only the recipients can read
+// it. The caller saves the note afterwards as usual. The sealing user does
+// not need to be a recipient (as in Notes, you can encrypt a field you can
+// no longer read).
+func (s *Session) SealItem(n *nsf.Note, itemName string, recipients ...string) error {
+	if len(recipients) == 0 {
+		return errors.New("core: SealItem needs at least one recipient")
+	}
+	it, ok := n.Item(itemName)
+	if !ok {
+		return fmt.Errorf("core: no item %q to seal", itemName)
+	}
+	if it.Flags.Has(nsf.FlagSealed) {
+		return fmt.Errorf("core: item %q is already sealed", itemName)
+	}
+	plaintext := nsf.EncodeValue(it.Value)
+	contentKey := make([]byte, 32)
+	if _, err := rand.Read(contentKey); err != nil {
+		return err
+	}
+	aead, err := gcmFor(contentKey)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	// Bind the ciphertext to the note and item so it cannot be replayed
+	// onto another document or field.
+	aad := sealAAD(n.OID.UNID, itemName)
+	sealed := aead.Seal(nil, nonce, plaintext, aad)
+
+	// Wrap the content key for each recipient: recipient names in a text
+	// list, wrapped keys (nonce || ciphertext) concatenated in a raw item
+	// with a fixed stride.
+	var names []string
+	var wrapped []byte
+	for _, r := range recipients {
+		rk, err := s.db.userKey(r)
+		if err != nil {
+			return err
+		}
+		raead, err := gcmFor(rk)
+		if err != nil {
+			return err
+		}
+		rnonce := make([]byte, raead.NonceSize())
+		if _, err := rand.Read(rnonce); err != nil {
+			return err
+		}
+		wk := raead.Seal(nil, rnonce, contentKey, aad)
+		names = append(names, r)
+		wrapped = append(wrapped, rnonce...)
+		wrapped = append(wrapped, wk...)
+	}
+	n.SetWithFlags(itemName, nsf.RawValue(append(nonce, sealed...)), it.Flags|nsf.FlagSealed)
+	metaName := sealPrefix + itemName
+	n.Set(metaName, nsf.TextValue(names...))
+	// Stash the wrapped keys alongside, in a raw item.
+	n.Set(metaName+":keys", nsf.RawValue(wrapped))
+	return nil
+}
+
+func sealAAD(unid nsf.UNID, itemName string) []byte {
+	return append(append([]byte{}, unid[:]...), strings.ToLower(itemName)...)
+}
+
+// OpenItem decrypts a sealed item for the session's user, returning the
+// original value. The note itself is not modified.
+func (s *Session) OpenItem(n *nsf.Note, itemName string) (nsf.Value, error) {
+	it, ok := n.Item(itemName)
+	if !ok || !it.Flags.Has(nsf.FlagSealed) {
+		return nsf.Value{}, fmt.Errorf("core: item %q is not sealed", itemName)
+	}
+	metaName := sealPrefix + itemName
+	names := n.TextList(metaName)
+	wrapped := n.Get(metaName + ":keys").Raw
+	idx := -1
+	for i, r := range names {
+		if strings.EqualFold(r, s.user) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nsf.Value{}, fmt.Errorf("%w: %s", ErrNotRecipient, s.user)
+	}
+	rk, err := s.db.userKey(s.user)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	raead, err := gcmFor(rk)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	aad := sealAAD(n.OID.UNID, itemName)
+	// Fixed stride per recipient: nonce + wrapped 32-byte key + GCM tag.
+	stride := raead.NonceSize() + 32 + raead.Overhead()
+	off := idx * stride
+	if off+stride > len(wrapped) {
+		return nsf.Value{}, errors.New("core: sealed key table is corrupt")
+	}
+	rnonce := wrapped[off : off+raead.NonceSize()]
+	wk := wrapped[off+raead.NonceSize() : off+stride]
+	contentKey, err := raead.Open(nil, rnonce, wk, aad)
+	if err != nil {
+		return nsf.Value{}, fmt.Errorf("core: unwrap key: %w", err)
+	}
+	aead, err := gcmFor(contentKey)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	blob := it.Value.Raw
+	if len(blob) < aead.NonceSize() {
+		return nsf.Value{}, errors.New("core: sealed item is corrupt")
+	}
+	plaintext, err := aead.Open(nil, blob[:aead.NonceSize()], blob[aead.NonceSize():], aad)
+	if err != nil {
+		return nsf.Value{}, fmt.Errorf("core: unseal: %w", err)
+	}
+	return nsf.DecodeValue(plaintext)
+}
+
+// UnsealItem decrypts a sealed item in place (restoring the original value
+// and clearing the seal metadata), for recipients who want to persist the
+// plaintext again.
+func (s *Session) UnsealItem(n *nsf.Note, itemName string) error {
+	v, err := s.OpenItem(n, itemName)
+	if err != nil {
+		return err
+	}
+	it, _ := n.Item(itemName)
+	n.SetWithFlags(itemName, v, it.Flags&^nsf.FlagSealed)
+	n.Remove(sealPrefix + itemName)
+	n.Remove(sealPrefix + itemName + ":keys")
+	return nil
+}

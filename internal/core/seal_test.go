@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+func sealDB(t *testing.T) *Database {
+	t.Helper()
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", Secret: "ada-secret"})
+	d.AddUser(dir.User{Name: "bob", Secret: "bob-secret"})
+	d.AddUser(dir.User{Name: "eve", Secret: "eve-secret"})
+	d.AddUser(dir.User{Name: "nokey"})
+	return openDB(t, Options{Directory: d})
+}
+
+func TestSealAndOpen(t *testing.T) {
+	db := sealDB(t)
+	ada := db.Session("ada")
+	n := memo("salary review")
+	n.SetNumber("Salary", 123456)
+	if err := ada.SealItem(n, "Salary", "ada", "bob"); err != nil {
+		t.Fatalf("SealItem: %v", err)
+	}
+	if err := ada.Create(n); err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := ada.Get(n.OID.UNID)
+	// Sealed value is opaque raw bytes on the note.
+	it, _ := stored.Item("Salary")
+	if !it.Flags.Has(nsf.FlagSealed) || it.Value.Type != nsf.TypeRaw {
+		t.Fatalf("sealed item shape: %+v", it)
+	}
+	// Both recipients can open it.
+	for _, user := range []string{"ada", "bob"} {
+		v, err := db.Session(user).OpenItem(stored, "Salary")
+		if err != nil {
+			t.Fatalf("%s OpenItem: %v", user, err)
+		}
+		if v.Type != nsf.TypeNumber || v.Numbers[0] != 123456 {
+			t.Fatalf("%s got %v", user, v)
+		}
+	}
+	// Eve can read the note but not the sealed field.
+	eve := db.Session("eve")
+	got, err := eve.Get(n.OID.UNID)
+	if err != nil {
+		t.Fatalf("eve Get: %v", err)
+	}
+	if _, err := eve.OpenItem(got, "Salary"); !errors.Is(err, ErrNotRecipient) {
+		t.Errorf("eve opened sealed item: %v", err)
+	}
+}
+
+func TestSealErrors(t *testing.T) {
+	db := sealDB(t)
+	s := db.Session("ada")
+	n := memo("x")
+	if err := s.SealItem(n, "Missing", "ada"); err == nil {
+		t.Error("sealed a missing item")
+	}
+	if err := s.SealItem(n, "Subject"); err == nil {
+		t.Error("sealed with no recipients")
+	}
+	if err := s.SealItem(n, "Subject", "nokey"); !errors.Is(err, ErrNoSecret) {
+		t.Errorf("sealed for secretless user: %v", err)
+	}
+	if err := s.SealItem(n, "Subject", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SealItem(n, "Subject", "ada"); err == nil {
+		t.Error("double seal accepted")
+	}
+	if _, err := s.OpenItem(n, "Body"); err == nil {
+		t.Error("opened an unsealed item")
+	}
+}
+
+func TestSealTamperDetection(t *testing.T) {
+	db := sealDB(t)
+	s := db.Session("ada")
+	n := memo("tamper")
+	n.SetText("Secret", "the truth")
+	if err := s.SealItem(n, "Secret", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a ciphertext byte.
+	it, _ := n.Item("Secret")
+	it.Value.Raw[len(it.Value.Raw)-1] ^= 0xFF
+	n.Set("Secret", it.Value)
+	// SetWithFlags preserved? re-mark sealed to reach the decrypt path.
+	n.SetWithFlags("Secret", it.Value, it.Flags)
+	if _, err := s.OpenItem(n, "Secret"); err == nil {
+		t.Error("tampered ciphertext opened")
+	}
+}
+
+func TestSealBoundToDocumentAndItem(t *testing.T) {
+	db := sealDB(t)
+	s := db.Session("ada")
+	a := memo("doc a")
+	a.SetText("Secret", "payload")
+	if err := s.SealItem(a, "Secret", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the sealed item onto another document: AAD binding must fail.
+	b := memo("doc b")
+	ai, _ := a.Item("Secret")
+	b.SetWithFlags("Secret", ai.Value.Clone(), ai.Flags)
+	b.Set("$Seal:Secret", a.Get("$Seal:Secret"))
+	b.Set("$Seal:Secret:keys", a.Get("$Seal:Secret:keys"))
+	if _, err := s.OpenItem(b, "Secret"); err == nil {
+		t.Error("sealed item replayed onto another document")
+	}
+}
+
+func TestSealSurvivesReplicationAndUnseal(t *testing.T) {
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", Secret: "ada-secret"})
+	replica := nsf.NewReplicaID()
+	a := openDB(t, Options{Directory: d, ReplicaID: replica})
+	b := openDB(t, Options{Directory: d, ReplicaID: replica})
+	s := a.Session("ada")
+	n := memo("travels sealed")
+	n.SetText("Secret", "classified")
+	if err := s.SealItem(n, "Secret", "ada"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(n); err != nil {
+		t.Fatal(err)
+	}
+	moved, _ := a.RawGet(n.OID.UNID)
+	if err := b.RawPut(moved.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.RawGet(n.OID.UNID)
+	v, err := b.Session("ada").OpenItem(got, "Secret")
+	if err != nil || v.Text[0] != "classified" {
+		t.Fatalf("open after replication: %v %v", v, err)
+	}
+	// Unseal in place restores the plaintext and clears metadata.
+	if err := b.Session("ada").UnsealItem(got, "Secret"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Text("Secret") != "classified" || got.Has("$Seal:Secret") {
+		t.Errorf("unseal left state: %v", got.ItemNames())
+	}
+}

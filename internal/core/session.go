@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/ft"
+	"repro/internal/nsf"
+	"repro/internal/view"
+)
+
+// Session is a user's authenticated handle on a database. All reads filter
+// by the ACL and Reader items; all writes check edit rights.
+type Session struct {
+	db   *Database
+	user string
+	id   *acl.Identity
+}
+
+// Session opens a session for user, resolving their access level once.
+func (db *Database) Session(user string) *Session {
+	db.mu.RLock()
+	a := db.acl
+	db.mu.RUnlock()
+	return &Session{db: db, user: user, id: a.Resolve(user, db.resolver())}
+}
+
+// resolver adapts the possibly-nil directory to the ACL's GroupResolver.
+func (db *Database) resolver() acl.GroupResolver {
+	if db.dirs == nil {
+		return nil
+	}
+	return db.dirs
+}
+
+// User returns the session's user name.
+func (s *Session) User() string { return s.user }
+
+// Identity returns the resolved access identity.
+func (s *Session) Identity() *acl.Identity { return s.id }
+
+// Database returns the underlying database.
+func (s *Session) Database() *Database { return s.db }
+
+// Create stores a new document. The note's UNID may be pre-assigned (e.g.
+// by NewNote); Created/Modified and the OID are stamped here. An Authors
+// item listing the creator is added automatically for Author-level users,
+// mirroring the Notes convention that authors can edit their own documents.
+func (s *Session) Create(n *nsf.Note) error {
+	if !s.id.CanCreate() {
+		return fmt.Errorf("%w: %s may not create documents", ErrAccessDenied, s.user)
+	}
+	if n.Class != nsf.ClassDocument {
+		return fmt.Errorf("core: Create only stores documents; use AddView/SaveACL for design")
+	}
+	if n.OID.UNID.IsZero() {
+		n.OID.UNID = nsf.NewUNID()
+	}
+	if _, err := s.db.st.GetByUNID(n.OID.UNID); err == nil {
+		return fmt.Errorf("core: document %s already exists", n.OID.UNID)
+	} else if !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	if s.id.Level == acl.Author && len(n.Authors()) == 0 {
+		n.SetWithFlags("$Authors", nsf.TextValue(s.user), nsf.FlagAuthors|nsf.FlagSummary)
+	}
+	return s.db.putVersioned(n)
+}
+
+// Get returns the document with the given UNID, subject to read access.
+// Deletion stubs read as not found.
+func (s *Session) Get(unid nsf.UNID) (*nsf.Note, error) {
+	n, err := s.db.st.GetByUNID(unid)
+	if err != nil {
+		return nil, err
+	}
+	if n.IsStub() {
+		return nil, ErrNotFound
+	}
+	if !s.id.CanRead(n) {
+		return nil, fmt.Errorf("%w: %s may not read %s", ErrAccessDenied, s.user, unid)
+	}
+	return n, nil
+}
+
+// Update stores a modified document, advancing its version. The caller must
+// pass the full note (as returned by Get, then mutated).
+func (s *Session) Update(n *nsf.Note) error {
+	old, err := s.db.st.GetByUNID(n.OID.UNID)
+	if err != nil {
+		return err
+	}
+	if !s.id.CanEdit(old) {
+		return fmt.Errorf("%w: %s may not edit %s", ErrAccessDenied, s.user, n.OID.UNID)
+	}
+	return s.db.putVersioned(n)
+}
+
+// Delete replaces the document with a deletion stub so the delete
+// replicates. The stub keeps the note's identity and advances its version.
+func (s *Session) Delete(unid nsf.UNID) error {
+	old, err := s.db.st.GetByUNID(unid)
+	if err != nil {
+		return err
+	}
+	if !s.id.CanDelete(old) {
+		return fmt.Errorf("%w: %s may not delete %s", ErrAccessDenied, s.user, unid)
+	}
+	stub := &nsf.Note{
+		ID:      old.ID,
+		OID:     old.OID,
+		Class:   old.Class,
+		Flags:   old.Flags | nsf.FlagDeleted,
+		Created: old.Created,
+	}
+	return s.db.putVersioned(stub)
+}
+
+// Rows renders the named view for this session: category rows plus the
+// entries the user may read (Reader items enforced).
+func (s *Session) Rows(viewName string) ([]view.Row, error) {
+	ix, ok := s.db.View(viewName)
+	if !ok {
+		return nil, fmt.Errorf("core: no view %q", viewName)
+	}
+	if s.id.Level < acl.Reader {
+		return nil, fmt.Errorf("%w: %s may not read views", ErrAccessDenied, s.user)
+	}
+	return ix.Rows(s.entryReadable), nil
+}
+
+// entryReadable applies Reader-item filtering to a view entry without
+// loading the note.
+func (s *Session) entryReadable(e *view.Entry) bool {
+	if len(e.Readers) == 0 {
+		return true
+	}
+	for _, r := range e.Readers {
+		if s.id.Matches(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Search runs a full-text query, filtering hits by read access.
+func (s *Session) Search(query string) ([]ft.Result, error) {
+	fti := s.db.FullText()
+	if fti == nil {
+		return nil, errors.New("core: full-text index not enabled")
+	}
+	if s.id.Level < acl.Reader {
+		return nil, fmt.Errorf("%w: %s may not search", ErrAccessDenied, s.user)
+	}
+	hits, err := fti.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	// Filter by the reader restriction captured at indexing time — the same
+	// summary-level check views use, avoiding a store load per hit.
+	out := hits[:0]
+	for _, h := range hits {
+		if len(h.Readers) == 0 || s.matchesAnyName(h.Readers) {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// matchesAnyName reports whether any of names denotes this session's user,
+// groups, or roles.
+func (s *Session) matchesAnyName(names []string) bool {
+	for _, n := range names {
+		if s.id.Matches(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// All visits every readable document (not stubs, not design notes).
+func (s *Session) All(fn func(*nsf.Note) bool) error {
+	if s.id.Level < acl.Reader {
+		return fmt.Errorf("%w: %s may not read", ErrAccessDenied, s.user)
+	}
+	return s.db.st.ScanAll(func(n *nsf.Note) bool {
+		if n.IsStub() || n.Class != nsf.ClassDocument || !s.id.CanRead(n) {
+			return true
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/nsf"
+)
+
+// Document signing. Notes signs documents with the user's ID file; this
+// reproduction substitutes an HMAC keyed by the user's directory secret
+// (the same shared secret that authenticates wire sessions), verified
+// server-side against the directory. The signature covers the note's
+// canonical content digest, so any item tampering invalidates it, while
+// bookkeeping (revisions, unsigned items added later by agents) does not
+// re-sign silently — editing a signed document voids its signature until
+// re-signed.
+
+// Signature item names.
+const (
+	itemSigner    = "$Signer"
+	itemSignature = "$Signature"
+)
+
+// ErrNoSecret is returned when the signing user has no directory secret.
+var ErrNoSecret = errors.New("core: user has no secret to sign with")
+
+// signatureOf computes the HMAC for note as signed by user.
+func (db *Database) signatureOf(n *nsf.Note, user string) ([]byte, error) {
+	if db.dirs == nil {
+		return nil, errors.New("core: signing requires a directory")
+	}
+	u, ok := db.dirs.Lookup(user)
+	if !ok || u.Secret == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoSecret, user)
+	}
+	digest := n.CanonicalDigest(itemSigner, itemSignature)
+	mac := hmac.New(sha256.New, []byte(u.Secret))
+	mac.Write([]byte(u.Name))
+	mac.Write(digest[:])
+	return mac.Sum(nil), nil
+}
+
+// Sign attaches the session user's signature to the note (in memory). The
+// caller then stores it with Create or Update as usual.
+func (s *Session) Sign(n *nsf.Note) error {
+	sig, err := s.db.signatureOf(n, s.user)
+	if err != nil {
+		return err
+	}
+	n.SetWithFlags(itemSigner, nsf.TextValue(s.user), nsf.FlagSummary|nsf.FlagNames)
+	n.SetWithFlags(itemSignature, nsf.TextValue(hex.EncodeToString(sig)), nsf.FlagSummary)
+	return nil
+}
+
+// VerifySignature checks a note's signature against the directory. It
+// returns the signer's name when the signature is present and valid.
+func (db *Database) VerifySignature(n *nsf.Note) (signer string, err error) {
+	signer = n.Text(itemSigner)
+	sigHex := n.Text(itemSignature)
+	if signer == "" || sigHex == "" {
+		return "", errors.New("core: note is not signed")
+	}
+	want, err := db.signatureOf(n, signer)
+	if err != nil {
+		return "", err
+	}
+	got, err := hex.DecodeString(sigHex)
+	if err != nil {
+		return "", fmt.Errorf("core: malformed signature: %w", err)
+	}
+	if !hmac.Equal(want, got) {
+		return "", fmt.Errorf("core: signature of %q does not verify", signer)
+	}
+	return signer, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+func signingDB(t *testing.T) *Database {
+	t.Helper()
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", Secret: "ada-secret"})
+	d.AddUser(dir.User{Name: "bob", Secret: "bob-secret"})
+	d.AddUser(dir.User{Name: "nosecret"})
+	return openDB(t, Options{Directory: d})
+}
+
+func TestSignAndVerify(t *testing.T) {
+	db := signingDB(t)
+	s := db.Session("ada")
+	n := memo("signed memo")
+	if err := s.Sign(n); err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.Create(n); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	stored, _ := s.Get(n.OID.UNID)
+	signer, err := db.VerifySignature(stored)
+	if err != nil || signer != "ada" {
+		t.Fatalf("VerifySignature = %q, %v", signer, err)
+	}
+}
+
+func TestTamperingBreaksSignature(t *testing.T) {
+	db := signingDB(t)
+	s := db.Session("ada")
+	n := memo("tamper target")
+	s.Sign(n)
+	s.Create(n)
+	got, _ := s.Get(n.OID.UNID)
+	got.SetText("Subject", "tampered")
+	if _, err := db.VerifySignature(got); err == nil {
+		t.Error("tampered note verified")
+	}
+	// Forged signer: bob claims ada's signature.
+	got, _ = s.Get(n.OID.UNID)
+	got.SetText("$Signer", "bob")
+	if _, err := db.VerifySignature(got); err == nil {
+		t.Error("forged signer verified")
+	}
+	// Re-signing after edit restores validity.
+	got, _ = s.Get(n.OID.UNID)
+	got.SetText("Subject", "legit edit")
+	if err := s.Sign(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.VerifySignature(got); err != nil {
+		t.Errorf("re-signed note failed: %v", err)
+	}
+}
+
+func TestSignRequiresSecret(t *testing.T) {
+	db := signingDB(t)
+	if err := db.Session("nosecret").Sign(memo("x")); err == nil {
+		t.Error("signing without a secret succeeded")
+	}
+	if err := db.Session("ghost").Sign(memo("x")); err == nil {
+		t.Error("signing as unknown user succeeded")
+	}
+	if _, err := db.VerifySignature(memo("unsigned")); err == nil {
+		t.Error("unsigned note verified")
+	}
+}
+
+func TestSignatureSurvivesReplication(t *testing.T) {
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", Secret: "ada-secret"})
+	replica := nsf.NewReplicaID()
+	a := openDB(t, Options{Directory: d, ReplicaID: replica})
+	b := openDB(t, Options{Directory: d, ReplicaID: replica})
+	s := a.Session("ada")
+	n := memo("travels signed")
+	s.Sign(n)
+	s.Create(n)
+	// Move the note via the raw replication path.
+	stored, _ := a.RawGet(n.OID.UNID)
+	if err := b.RawPut(stored.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.RawGet(n.OID.UNID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := b.VerifySignature(got)
+	if err != nil || signer != "ada" {
+		t.Errorf("signature after replication = %q, %v", signer, err)
+	}
+}
+
+func TestAttachments(t *testing.T) {
+	db := openDB(t, Options{})
+	s := db.Session("ada")
+	n := memo("with files")
+	payload := bytes.Repeat([]byte{0xCA, 0xFE}, 30000) // 60 KB, multi-page
+	if err := n.Attach("report.pdf", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach("notes.txt", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach("../evil", []byte("x")); err == nil {
+		t.Error("path-ish attachment name accepted")
+	}
+	if err := s.Create(n); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(n.OID.UNID)
+	names := got.AttachmentNames()
+	if len(names) != 2 || names[0] != "report.pdf" || names[1] != "notes.txt" {
+		t.Fatalf("AttachmentNames = %v", names)
+	}
+	data, ok := got.Attachment("report.pdf")
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("attachment corrupted: %d bytes, ok=%v", len(data), ok)
+	}
+	if !got.Detach("notes.txt") {
+		t.Error("Detach failed")
+	}
+	if err := s.Update(got); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := s.Get(n.OID.UNID)
+	if len(again.AttachmentNames()) != 1 {
+		t.Errorf("after detach: %v", again.AttachmentNames())
+	}
+}

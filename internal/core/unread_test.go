@@ -1,0 +1,116 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+func TestUnreadLifecycle(t *testing.T) {
+	db := openDB(t, Options{})
+	s := db.Session("ada")
+	a := memo("first")
+	b := memo("second")
+	s.Create(a)
+	s.Create(b)
+
+	if !s.IsUnread(a.OID.UNID) || !s.IsUnread(b.OID.UNID) {
+		t.Fatal("fresh docs should be unread")
+	}
+	if n, _ := s.UnreadCount(); n != 2 {
+		t.Fatalf("UnreadCount = %d", n)
+	}
+	if err := s.MarkRead(a.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsUnread(a.OID.UNID) {
+		t.Error("read doc still unread")
+	}
+	if n, _ := s.UnreadCount(); n != 1 {
+		t.Errorf("UnreadCount = %d", n)
+	}
+	// Modifying a read doc makes it unread again.
+	got, _ := s.Get(a.OID.UNID)
+	got.SetText("Subject", "edited")
+	if err := s.Update(got); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsUnread(a.OID.UNID) {
+		t.Error("edited doc should be unread again")
+	}
+	// Explicit unmark.
+	s.MarkRead(a.OID.UNID)
+	if err := s.MarkUnread(a.OID.UNID); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsUnread(a.OID.UNID) {
+		t.Error("MarkUnread had no effect")
+	}
+}
+
+func TestUnreadIsPerUser(t *testing.T) {
+	db := openDB(t, Options{})
+	s := db.Session("ada")
+	n := memo("shared")
+	s.Create(n)
+	s.MarkRead(n.OID.UNID)
+	bob := db.Session("bob")
+	if !bob.IsUnread(n.OID.UNID) {
+		t.Error("ada's read mark leaked to bob")
+	}
+	if s.IsUnread(n.OID.UNID) {
+		t.Error("ada's mark lost")
+	}
+}
+
+func TestUnreadPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "unread.nsf")
+	db, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("ada")
+	a := memo("keep")
+	b := memo("new")
+	s.Create(a)
+	s.Create(b)
+	s.MarkRead(a.OID.UNID)
+	db.Close()
+
+	db2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	s2 := db2.Session("ada")
+	if s2.IsUnread(a.OID.UNID) {
+		t.Error("read mark lost across reopen")
+	}
+	if !s2.IsUnread(b.OID.UNID) {
+		t.Error("unread doc marked read across reopen")
+	}
+}
+
+func TestMarkAllReadAndPruning(t *testing.T) {
+	db := openDB(t, Options{})
+	s := db.Session("ada")
+	var docs []*nsf.Note
+	for i := 0; i < 5; i++ {
+		n := memo("m")
+		s.Create(n)
+		docs = append(docs, n)
+	}
+	if err := s.MarkAllRead(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.UnreadCount(); n != 0 {
+		t.Errorf("UnreadCount after MarkAllRead = %d", n)
+	}
+	// Delete a doc: its mark is pruned on the next count and the count
+	// stays correct.
+	s.Delete(docs[0].OID.UNID)
+	if n, _ := s.UnreadCount(); n != 0 {
+		t.Errorf("UnreadCount after delete = %d", n)
+	}
+}

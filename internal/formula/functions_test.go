@@ -1,0 +1,129 @@
+package formula
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/nsf"
+)
+
+func evalCtx(t *testing.T, src string, ctx *Context) nsf.Value {
+	t.Helper()
+	f, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := f.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestDateConstruction(t *testing.T) {
+	v := eval(t, `@Date(1999; 6; 1)`)
+	if v.Type != nsf.TypeTime || len(v.Times) != 1 {
+		t.Fatalf("@Date = %v", v)
+	}
+	tm := v.Times[0].Time()
+	if tm.Year() != 1999 || tm.Month() != time.June || tm.Day() != 1 || tm.Hour() != 0 {
+		t.Errorf("@Date = %v", tm)
+	}
+	v = eval(t, `@Date(1999; 6; 1; 13; 30; 45)`)
+	if tm := v.Times[0].Time(); tm.Hour() != 13 || tm.Minute() != 30 || tm.Second() != 45 {
+		t.Errorf("@Date with time = %v", tm)
+	}
+	// @Date of a time value truncates to midnight.
+	v = eval(t, `@Date(@Date(2000; 2; 29; 10; 11; 12))`)
+	if tm := v.Times[0].Time(); tm.Hour() != 0 || tm.Day() != 29 {
+		t.Errorf("@Date truncation = %v", tm)
+	}
+	if f := MustCompile(`@Date(1; 2)`); f != nil {
+		if _, err := f.Eval(&Context{}); err == nil {
+			t.Error("@Date with 2 args evaluated")
+		}
+	}
+}
+
+func TestAdjust(t *testing.T) {
+	v := eval(t, `@Adjust(@Date(2000; 1; 31); 0; 1; 0; 0; 0; 0)`)
+	tm := v.Times[0].Time()
+	// Go's AddDate normalizes Jan 31 + 1 month to Mar 2 (2000 is a leap year).
+	if tm.Month() != time.March || tm.Day() != 2 {
+		t.Errorf("@Adjust month = %v", tm)
+	}
+	v = eval(t, `@Adjust(@Date(2000; 1; 1); 1; 0; 2; 3; 4; 5)`)
+	tm = v.Times[0].Time()
+	if tm.Year() != 2001 || tm.Day() != 3 || tm.Hour() != 3 || tm.Minute() != 4 || tm.Second() != 5 {
+		t.Errorf("@Adjust compound = %v", tm)
+	}
+}
+
+func TestTodayAndWeekday(t *testing.T) {
+	fixed := nsf.TimestampOf(time.Date(2026, 7, 4, 15, 30, 0, 0, time.UTC)) // a Saturday
+	ctx := &Context{Now: func() nsf.Timestamp { return fixed }}
+	v := evalCtx(t, `@Today`, ctx)
+	if tm := v.Times[0].Time(); tm.Hour() != 0 || tm.Day() != 4 {
+		t.Errorf("@Today = %v", tm)
+	}
+	v = evalCtx(t, `@Weekday(@Today)`, ctx)
+	if v.Numbers[0] != 7 { // Saturday = 7 with Sunday = 1
+		t.Errorf("@Weekday = %v", v.Numbers)
+	}
+}
+
+func TestNameParts(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`@Name([CN]; "CN=Ada Lovelace/OU=Eng/O=Acme")`, "Ada Lovelace"},
+		{`@Name([O]; "CN=Ada Lovelace/OU=Eng/O=Acme")`, "Acme"},
+		{`@Name([OU]; "CN=Ada Lovelace/OU=Eng/O=Acme")`, "Eng"},
+		{`@Name([Abbreviate]; "CN=Ada Lovelace/OU=Eng/O=Acme")`, "Ada Lovelace/Eng/Acme"},
+		{`@Name([CN]; "plain name")`, "plain name"},
+		{`@Name([Canonicalize]; "plain name")`, "CN=plain name"},
+		{`@Name([Canonicalize]; "CN=x/O=y")`, "CN=x/O=y"},
+	}
+	for _, tc := range cases {
+		v := eval(t, tc.src)
+		if v.Text[0] != tc.want {
+			t.Errorf("%s = %q, want %q", tc.src, v.Text[0], tc.want)
+		}
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	v := eval(t, `@Keywords("the quick brown fox"; "Fox" : "dog" : "quick")`)
+	if !reflect.DeepEqual(v.Text, []string{"Fox", "quick"}) {
+		t.Errorf("@Keywords = %v", v.Text)
+	}
+	v = eval(t, `@Keywords("a-b-c"; "b" : "z"; "-")`)
+	if !reflect.DeepEqual(v.Text, []string{"b"}) {
+		t.Errorf("@Keywords with sep = %v", v.Text)
+	}
+}
+
+func TestSort(t *testing.T) {
+	v := eval(t, `@Sort("pear" : "Apple" : "banana")`)
+	if !reflect.DeepEqual(v.Text, []string{"Apple", "banana", "pear"}) {
+		t.Errorf("@Sort = %v", v.Text)
+	}
+	v = eval(t, `@Sort(3 : 1 : 2)`)
+	if !reflect.DeepEqual(v.Numbers, []float64{1, 2, 3}) {
+		t.Errorf("@Sort numbers = %v", v.Numbers)
+	}
+	v = eval(t, `@Sort(3 : 1 : 2; "descending")`)
+	if !reflect.DeepEqual(v.Numbers, []float64{3, 2, 1}) {
+		t.Errorf("@Sort descending = %v", v.Numbers)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	v := eval(t, `@Repeat("ab"; 3)`)
+	if v.Text[0] != "ababab" {
+		t.Errorf("@Repeat = %v", v.Text)
+	}
+	f := MustCompile(`@Repeat("x"; -1)`)
+	if _, err := f.Eval(&Context{}); err == nil {
+		t.Error("negative @Repeat evaluated")
+	}
+}

@@ -1,0 +1,84 @@
+package formula
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+// TestCompileNeverPanics feeds the compiler random byte soup and random
+// token salads; it must return errors, never panic. Formulas come from
+// users (view designers, agent authors), so the parser is an input surface.
+func TestCompileNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Random bytes.
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(60))
+		rng.Read(b)
+		_, _ = Compile(string(b))
+	}
+	// Random sequences of plausible tokens, more likely to get deep into
+	// the parser.
+	tokens := []string{
+		"SELECT", "FIELD", "DEFAULT", "REM", ":=", ":", ";", "(", ")",
+		"+", "-", "*", "/", "=", "!=", "<", ">", "<=", ">=", "&", "|", "!",
+		"@If", "@All", "@Left", "@Contains", "@Unique", "Subject", "x",
+		`"str"`, "42", "3.14", "[CN]", "{brace}",
+	}
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(12)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = tokens[rng.Intn(len(tokens))]
+		}
+		src := strings.Join(parts, " ")
+		f, err := Compile(src)
+		if err != nil || f == nil {
+			continue
+		}
+		// Whatever compiled must also evaluate without panicking.
+		note := nsf.NewNote(nsf.ClassDocument)
+		note.SetText("Subject", "fuzz")
+		_, _ = f.Eval(&Context{Note: note})
+		_, _ = f.Selects(note, nil)
+	}
+}
+
+// TestEvalNeverPanicsOnHostileNotes evaluates fixed formulas against notes
+// with adversarial item shapes (empty lists, mixed types, huge names).
+func TestEvalNeverPanicsOnHostileNotes(t *testing.T) {
+	formulas := []*Formula{
+		MustCompile(`SELECT Subject = "x" & Priority > 3`),
+		MustCompile(`@Left(Subject; Priority) + @Text(@Sum(Priority; 1))`),
+		MustCompile(`@Implode(@Explode(Subject); "-") : @Unique(Tags)`),
+		MustCompile(`@If(@IsAvailable(Missing); Missing; "default")`),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		n := nsf.NewNote(nsf.ClassDocument)
+		// Adversarial values: empty lists, type mismatches for the item
+		// names the formulas touch.
+		switch rng.Intn(5) {
+		case 0:
+			n.Set("Subject", nsf.Value{Type: nsf.TypeText}) // empty list
+			n.Set("Priority", nsf.Value{Type: nsf.TypeNumber})
+		case 1:
+			n.SetNumber("Subject", rng.Float64()) // wrong type
+			n.SetText("Priority", "not a number")
+		case 2:
+			n.Set("Subject", nsf.RawValue([]byte{0, 1, 2}))
+			n.SetTime("Priority", nsf.Timestamp(rng.Int63()))
+		case 3:
+			n.SetText("Subject", strings.Repeat("x", rng.Intn(1000)))
+			n.SetNumber("Priority", rng.NormFloat64()*1e18)
+		default:
+			n.SetText("Tags", "a", "", "b", "")
+		}
+		for _, f := range formulas {
+			_, _ = f.Eval(&Context{Note: n})
+			_, _ = f.Selects(n, nil)
+		}
+	}
+}

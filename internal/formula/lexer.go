@@ -1,0 +1,253 @@
+// Package formula implements the Notes @formula language: an expression
+// language over documents used for view selection formulas, computed
+// columns and fields, replication formulas, and agents.
+//
+// A formula is a sequence of statements separated by semicolons:
+//
+//	SELECT Form = "Memo" & Priority > 2;
+//	temp := @UpperCase(Subject);
+//	FIELD Status := "Open";
+//	@If(Size > 100; "big"; "small")
+//
+// Values are typed lists (text, number, time), matching the NSF item model.
+// Operators follow Notes semantics: ':' concatenates lists, arithmetic
+// applies pairwise (the shorter list's last element is reused), and
+// comparisons are permuted — true when any pair of elements satisfies the
+// relation.
+package formula
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent // field names, keywords, and @functions
+	tokAssign
+	tokColon
+	tokSemi
+	tokLParen
+	tokRParen
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokEq
+	tokNeq
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokAmp
+	tokPipe
+	tokBang
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of formula"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokIdent:
+		return "identifier"
+	case tokAssign:
+		return ":="
+	case tokColon:
+		return ":"
+	case tokSemi:
+		return ";"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokPlus:
+		return "+"
+	case tokMinus:
+		return "-"
+	case tokStar:
+		return "*"
+	case tokSlash:
+		return "/"
+	case tokEq:
+		return "="
+	case tokNeq:
+		return "!="
+	case tokLt:
+		return "<"
+	case tokGt:
+		return ">"
+	case tokLe:
+		return "<="
+	case tokGe:
+		return ">="
+	case tokAmp:
+		return "&"
+	case tokPipe:
+		return "|"
+	case tokBang:
+		return "!"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9', c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' && !seenDot) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			var n float64
+			if _, err := fmt.Sscanf(src[start:i], "%g", &n); err != nil {
+				return nil, fmt.Errorf("formula: bad number %q at %d", src[start:i], start)
+			}
+			toks = append(toks, token{kind: tokNumber, num: n, pos: start})
+		case c == '"':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("formula: unterminated string at %d", start)
+				}
+				if src[i] == '\\' && i+1 < len(src) {
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == '"' {
+					// Doubled quote is an escaped quote.
+					if i+1 < len(src) && src[i+1] == '"' {
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '[':
+			// Keyword literal, e.g. [CN] in @Name([CN]; ...). Evaluates as
+			// the bracketed text.
+			start := i
+			end := strings.IndexByte(src[i:], ']')
+			if end < 0 {
+				return nil, fmt.Errorf("formula: unterminated [keyword] at %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i : i+end+1], pos: start})
+			i += end + 1
+		case c == '{':
+			start := i
+			i++
+			end := strings.IndexByte(src[i:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("formula: unterminated {string} at %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i : i+end], pos: start})
+			i += end + 1
+		case isIdentStart(c):
+			start := i
+			i++
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], pos: start})
+		default:
+			start := i
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == ":=":
+				toks = append(toks, token{kind: tokAssign, pos: start})
+				i += 2
+			case two == "!=" || two == "<>":
+				toks = append(toks, token{kind: tokNeq, pos: start})
+				i += 2
+			case two == "<=":
+				toks = append(toks, token{kind: tokLe, pos: start})
+				i += 2
+			case two == ">=":
+				toks = append(toks, token{kind: tokGe, pos: start})
+				i += 2
+			default:
+				var k tokenKind
+				switch c {
+				case ':':
+					k = tokColon
+				case ';':
+					k = tokSemi
+				case '(':
+					k = tokLParen
+				case ')':
+					k = tokRParen
+				case '+':
+					k = tokPlus
+				case '-':
+					k = tokMinus
+				case '*':
+					k = tokStar
+				case '/':
+					k = tokSlash
+				case '=':
+					k = tokEq
+				case '<':
+					k = tokLt
+				case '>':
+					k = tokGt
+				case '&':
+					k = tokAmp
+				case '|':
+					k = tokPipe
+				case '!':
+					k = tokBang
+				default:
+					return nil, fmt.Errorf("formula: unexpected character %q at %d", c, start)
+				}
+				toks = append(toks, token{kind: k, pos: start})
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '@' || c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,244 @@
+package ft
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/nsf"
+)
+
+// Index persistence. The on-disk format is a snapshot of the inverted
+// index:
+//
+//	magic    "FTIDX001"
+//	docs     uvarint, then per doc: UNID (16B), reader count uvarint,
+//	         readers (len-prefixed strings)
+//	terms    uvarint, then per term: term (len-prefixed), doc count uvarint,
+//	         per doc: UNID (16B), position count uvarint, positions as
+//	         delta-encoded uvarints
+//
+// Snapshots are written atomically by the caller (write temp + rename).
+const persistMagic = "FTIDX001"
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	write := func(b []byte) error {
+		_, err := cw.Write(b)
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		return write(scratch[:n])
+	}
+	writeStr := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		return write([]byte(s))
+	}
+	if err := write([]byte(persistMagic)); err != nil {
+		return cw.n, err
+	}
+	// Documents and their reader restrictions.
+	if err := writeUvarint(uint64(len(ix.docTerms))); err != nil {
+		return cw.n, err
+	}
+	docs := make([]nsf.UNID, 0, len(ix.docTerms))
+	for u := range ix.docTerms {
+		docs = append(docs, u)
+	}
+	sort.Slice(docs, func(i, j int) bool { return string(docs[i][:]) < string(docs[j][:]) })
+	for _, u := range docs {
+		if err := write(u[:]); err != nil {
+			return cw.n, err
+		}
+		readers := ix.docReaders[u]
+		if err := writeUvarint(uint64(len(readers))); err != nil {
+			return cw.n, err
+		}
+		for _, r := range readers {
+			if err := writeStr(r); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	// Postings.
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := writeUvarint(uint64(len(terms))); err != nil {
+		return cw.n, err
+	}
+	for _, t := range terms {
+		if err := writeStr(t); err != nil {
+			return cw.n, err
+		}
+		m := ix.postings[t]
+		if err := writeUvarint(uint64(len(m))); err != nil {
+			return cw.n, err
+		}
+		for u, positions := range m {
+			if err := write(u[:]); err != nil {
+				return cw.n, err
+			}
+			if err := writeUvarint(uint64(len(positions))); err != nil {
+				return cw.n, err
+			}
+			prev := int32(0)
+			for _, p := range positions {
+				if err := writeUvarint(uint64(p - prev)); err != nil {
+					return cw.n, err
+				}
+				prev = p
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadIndex deserializes a snapshot written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ft: read snapshot: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("ft: bad snapshot magic %q", magic)
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readStr := func() (string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("ft: implausible string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	readUNID := func() (nsf.UNID, error) {
+		var u nsf.UNID
+		_, err := io.ReadFull(br, u[:])
+		return u, err
+	}
+	ix := NewIndex()
+	docCount, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if docCount > 1<<28 {
+		return nil, fmt.Errorf("ft: implausible doc count %d", docCount)
+	}
+	for i := uint64(0); i < docCount; i++ {
+		u, err := readUNID()
+		if err != nil {
+			return nil, err
+		}
+		nReaders, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nReaders > 1<<16 {
+			return nil, fmt.Errorf("ft: implausible reader count %d", nReaders)
+		}
+		var readers []string
+		for j := uint64(0); j < nReaders; j++ {
+			s, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			readers = append(readers, s)
+		}
+		ix.docTerms[u] = nil // filled as postings load
+		if len(readers) > 0 {
+			ix.docReaders[u] = readers
+		}
+	}
+	termCount, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if termCount > 1<<28 {
+		return nil, fmt.Errorf("ft: implausible term count %d", termCount)
+	}
+	for i := uint64(0); i < termCount; i++ {
+		term, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		nDocs, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nDocs > docCount {
+			return nil, fmt.Errorf("ft: term %q has %d docs of %d", term, nDocs, docCount)
+		}
+		m := make(map[nsf.UNID][]int32, nDocs)
+		for j := uint64(0); j < nDocs; j++ {
+			u, err := readUNID()
+			if err != nil {
+				return nil, err
+			}
+			if _, known := ix.docTerms[u]; !known {
+				return nil, fmt.Errorf("ft: posting references unknown doc %s", u)
+			}
+			nPos, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if nPos > 1<<24 {
+				return nil, fmt.Errorf("ft: implausible position count %d", nPos)
+			}
+			positions := make([]int32, nPos)
+			prev := int32(0)
+			for k := range positions {
+				d, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				prev += int32(d)
+				positions[k] = prev
+			}
+			m[u] = positions
+			ix.docTerms[u] = append(ix.docTerms[u], term)
+		}
+		ix.postings[term] = m
+	}
+	return ix, nil
+}
+
+// Docs returns the indexed document UNIDs (unsorted).
+func (ix *Index) Docs() []nsf.UNID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]nsf.UNID, 0, len(ix.docTerms))
+	for u := range ix.docTerms {
+		out = append(out, u)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package ft
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+func snapshotRoundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	return loaded
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ix := NewIndex()
+	restricted := textNote("secret plans", "the heist begins at dawn")
+	restricted.SetWithFlags("DocReaders", nsf.TextValue("alice", "bob"), nsf.FlagReaders)
+	docs := []*nsf.Note{
+		textNote("groupware", "notes domino replication replication"),
+		textNote("cooking", "slow roast replication of recipes"),
+		restricted,
+	}
+	for _, n := range docs {
+		ix.Update(n)
+	}
+	loaded := snapshotRoundTrip(t, ix)
+	if loaded.DocCount() != ix.DocCount() || loaded.TermCount() != ix.TermCount() {
+		t.Fatalf("counts: %d/%d vs %d/%d",
+			loaded.DocCount(), loaded.TermCount(), ix.DocCount(), ix.TermCount())
+	}
+	for _, q := range []string{"replication", `"heist begins"`, "roast OR domino", "NOT cooking"} {
+		a, err := ix.Search(q)
+		if err != nil {
+			t.Fatalf("Search(%q): %v", q, err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatalf("loaded Search(%q): %v", q, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d hits", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].UNID != b[i].UNID || a[i].Score != b[i].Score {
+				t.Fatalf("query %q hit %d differs: %+v vs %+v", q, i, a[i], b[i])
+			}
+			av, bv := append([]string(nil), a[i].Readers...), append([]string(nil), b[i].Readers...)
+			sort.Strings(av)
+			sort.Strings(bv)
+			if !reflect.DeepEqual(av, bv) {
+				t.Fatalf("query %q readers differ: %v vs %v", q, av, bv)
+			}
+		}
+	}
+	// The loaded index remains updatable.
+	extra := textNote("late", "arrives after loading")
+	loaded.Update(extra)
+	if rs, _ := loaded.Search("arrives"); len(rs) != 1 {
+		t.Error("loaded index not updatable")
+	}
+	loaded.Remove(docs[0].OID.UNID)
+	if rs, _ := loaded.Search("domino"); len(rs) != 0 {
+		t.Error("removal from loaded index failed")
+	}
+}
+
+func TestSnapshotEmptyIndex(t *testing.T) {
+	loaded := snapshotRoundTrip(t, NewIndex())
+	if loaded.DocCount() != 0 || loaded.TermCount() != 0 {
+		t.Errorf("empty snapshot: %d docs %d terms", loaded.DocCount(), loaded.TermCount())
+	}
+}
+
+func TestSnapshotLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	ix := NewIndex()
+	for i := 0; i < 500; i++ {
+		words := make([]string, 3+rng.Intn(30))
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		ix.Update(textNote(fmt.Sprintf("doc %d", i), fmt.Sprint(words)))
+	}
+	loaded := snapshotRoundTrip(t, ix)
+	for _, q := range []string{"alpha", `"beta gamma"`, "delta NOT epsilon"} {
+		a, _ := ix.Search(q)
+		b, _ := loaded.Search(q)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d", q, len(a), len(b))
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncations of a valid snapshot must error, not panic.
+	ix := NewIndex()
+	ix.Update(textNote("x", "some words here"))
+	var buf bytes.Buffer
+	ix.WriteTo(&buf)
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

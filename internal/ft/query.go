@@ -1,0 +1,205 @@
+package ft
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query grammar:
+//
+//	query  = or
+//	or     = and { "OR" and }
+//	and    = unary { ["AND"] unary }     (juxtaposition is AND)
+//	unary  = "NOT" unary | "(" query ")" | phrase | term
+//	phrase = '"' words '"'
+//
+// Operators are case-insensitive. Terms are normalized with the same
+// tokenizer as the index.
+type qnode interface{ isQuery() }
+
+type qTerm struct{ term string }
+type qPhrase struct{ terms []string }
+type qAnd struct{ l, r qnode }
+type qOr struct{ l, r qnode }
+type qNot struct{ x qnode }
+
+func (qTerm) isQuery()   {}
+func (qPhrase) isQuery() {}
+func (qAnd) isQuery()    {}
+func (qOr) isQuery()     {}
+func (qNot) isQuery()    {}
+
+type qtoken struct {
+	kind string // "word", "phrase", "(", ")"
+	text string
+}
+
+func lexQuery(s string) ([]qtoken, error) {
+	var toks []qtoken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, qtoken{kind: string(c)})
+			i++
+		case c == '"':
+			end := strings.IndexByte(s[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("ft: unterminated phrase in query %q", s)
+			}
+			toks = append(toks, qtoken{kind: "phrase", text: s[i+1 : i+1+end]})
+			i += end + 2
+		default:
+			start := i
+			for i < len(s) && !strings.ContainsRune(" \t\n\r()\"", rune(s[i])) {
+				i++
+			}
+			toks = append(toks, qtoken{kind: "word", text: s[start:i]})
+		}
+	}
+	return toks, nil
+}
+
+type qparser struct {
+	toks []qtoken
+	pos  int
+}
+
+func (p *qparser) peek() (qtoken, bool) {
+	if p.pos >= len(p.toks) {
+		return qtoken{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+// parseQuery compiles a query string.
+func parseQuery(s string) (qnode, error) {
+	toks, err := lexQuery(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		return nil, fmt.Errorf("ft: unexpected %q in query", t.text+t.kind)
+	}
+	if q == nil {
+		return nil, fmt.Errorf("ft: empty query")
+	}
+	return q, nil
+}
+
+func (p *qparser) parseOr() (qnode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "word" || !strings.EqualFold(t.text, "or") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return nil, fmt.Errorf("ft: OR needs a right operand")
+		}
+		if l == nil {
+			return nil, fmt.Errorf("ft: OR needs a left operand")
+		}
+		l = qOr{l: l, r: r}
+	}
+}
+
+func (p *qparser) parseAnd() (qnode, error) {
+	var l qnode
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind == ")" {
+			return l, nil
+		}
+		if t.kind == "word" && strings.EqualFold(t.text, "or") {
+			return l, nil
+		}
+		if t.kind == "word" && strings.EqualFold(t.text, "and") {
+			p.pos++
+			continue
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			continue // token normalized away (stopword-only term)
+		}
+		if l == nil {
+			l = r
+		} else {
+			l = qAnd{l: l, r: r}
+		}
+	}
+}
+
+func (p *qparser) parseUnary() (qnode, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("ft: unexpected end of query")
+	}
+	switch {
+	case t.kind == "word" && strings.EqualFold(t.text, "not"):
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if x == nil {
+			return nil, fmt.Errorf("ft: NOT needs an operand")
+		}
+		return qNot{x: x}, nil
+	case t.kind == "(":
+		p.pos++
+		q, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := p.peek()
+		if !ok || t.kind != ")" {
+			return nil, fmt.Errorf("ft: missing ) in query")
+		}
+		p.pos++
+		return q, nil
+	case t.kind == "phrase":
+		p.pos++
+		terms := tokenize(t.text)
+		if len(terms) == 0 {
+			return nil, nil
+		}
+		if len(terms) == 1 {
+			return qTerm{term: terms[0]}, nil
+		}
+		return qPhrase{terms: terms}, nil
+	case t.kind == "word":
+		p.pos++
+		terms := tokenize(t.text)
+		if len(terms) == 0 {
+			return nil, nil // stopword or punctuation-only
+		}
+		// A word that tokenizes into several terms (e.g. "mail-routing")
+		// behaves like a phrase.
+		if len(terms) == 1 {
+			return qTerm{term: terms[0]}, nil
+		}
+		return qPhrase{terms: terms}, nil
+	default:
+		return nil, fmt.Errorf("ft: unexpected %q in query", t.kind)
+	}
+}

@@ -1,0 +1,54 @@
+// Package ft implements per-database full-text search: an incrementally
+// maintained inverted index with positions (for phrase queries), a boolean
+// query language (AND, OR, NOT, "phrases"), tf-idf ranking, and a linear
+// scan baseline used to validate results and benchmark the index.
+package ft
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/nsf"
+)
+
+// stopwords are excluded from the index and from queries.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true, "he": true,
+	"in": true, "is": true, "it": true, "its": true, "of": true, "on": true,
+	"or": true, "that": true, "the": true, "to": true, "was": true, "were": true,
+	"will": true, "with": true,
+}
+
+const maxTermLen = 64
+
+// tokenize splits text into lower-cased index terms, skipping stopwords and
+// implausibly long tokens.
+func tokenize(text string) []string {
+	var out []string
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	for _, f := range fields {
+		if len(f) == 0 || len(f) > maxTermLen || stopwords[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// noteTerms extracts the term stream of a note: all text items concatenated
+// in item order. Raw items and non-text types are skipped.
+func noteTerms(n *nsf.Note) []string {
+	var terms []string
+	for _, it := range n.Items {
+		if it.Value.Type != nsf.TypeText {
+			continue
+		}
+		for _, s := range it.Value.Text {
+			terms = append(terms, tokenize(s)...)
+		}
+	}
+	return terms
+}

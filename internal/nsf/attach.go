@@ -1,0 +1,49 @@
+package nsf
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
+
+// Attachments: Notes stores file attachments as $FILE items on the note.
+// The item name is "$FILE:" + the file name; the value is the raw bytes.
+// The storage engine chains large records across pages, so attachments of
+// arbitrary size ride along with the note and replicate with it.
+
+const filePrefix = "$FILE:"
+
+// Attach stores a file attachment on the note, replacing any attachment
+// with the same name.
+func (n *Note) Attach(filename string, data []byte) error {
+	if filename == "" || strings.ContainsAny(filename, "/\\") {
+		return fmt.Errorf("nsf: invalid attachment name %q", filename)
+	}
+	n.Set(filePrefix+filename, RawValue(slices.Clone(data)))
+	return nil
+}
+
+// Attachment returns the named attachment's bytes.
+func (n *Note) Attachment(filename string) ([]byte, bool) {
+	v := n.Get(filePrefix + filename)
+	if v.Type != TypeRaw {
+		return nil, false
+	}
+	return v.Raw, true
+}
+
+// Detach removes the named attachment, reporting whether it existed.
+func (n *Note) Detach(filename string) bool {
+	return n.Remove(filePrefix + filename)
+}
+
+// AttachmentNames lists the note's attachments in item order.
+func (n *Note) AttachmentNames() []string {
+	var out []string
+	for _, it := range n.Items {
+		if len(it.Name) > len(filePrefix) && EqualNames(it.Name[:len(filePrefix)], filePrefix) {
+			out = append(out, it.Name[len(filePrefix):])
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package nsf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// CanonicalDigest computes a stable SHA-256 digest of the note's identity
+// and content: the UNID plus every item (name-sorted, case-folded names),
+// excluding items whose lower-cased names appear in exclude. Signing uses
+// it with the signature items excluded so the digest is reproducible after
+// the signature is attached.
+func (n *Note) CanonicalDigest(exclude ...string) [32]byte {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[strings.ToLower(e)] = true
+	}
+	items := make([]Item, 0, len(n.Items))
+	for _, it := range n.Items {
+		if !skip[strings.ToLower(it.Name)] {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return strings.ToLower(items[i].Name) < strings.ToLower(items[j].Name)
+	})
+	h := sha256.New()
+	h.Write(n.OID.UNID[:])
+	var lenBuf [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	for _, it := range items {
+		writeStr(strings.ToLower(it.Name))
+		// Values hash via the canonical codec (type + entries), without
+		// flags or revisions: a signature covers content, not bookkeeping.
+		enc := appendValue(nil, it.Value)
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(enc)))
+		h.Write(lenBuf[:])
+		h.Write(enc)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

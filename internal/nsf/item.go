@@ -1,0 +1,194 @@
+package nsf
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+)
+
+// ItemType identifies the value type stored in an item. Notes items are
+// always logically lists; a scalar is a one-element list.
+type ItemType uint8
+
+// Item value types.
+const (
+	TypeText ItemType = iota + 1
+	TypeNumber
+	TypeTime
+	TypeRaw
+)
+
+// String returns the type name.
+func (t ItemType) String() string {
+	switch t {
+	case TypeText:
+		return "text"
+	case TypeNumber:
+		return "number"
+	case TypeTime:
+		return "time"
+	case TypeRaw:
+		return "raw"
+	default:
+		return fmt.Sprintf("ItemType(%d)", uint8(t))
+	}
+}
+
+// ItemFlags carry per-item metadata bits.
+type ItemFlags uint8
+
+// Item flags.
+const (
+	// FlagSummary marks items whose values are included in note summaries
+	// (the cheap projection used by views and replication scans).
+	FlagSummary ItemFlags = 1 << iota
+	// FlagReaders marks a text item listing the only names allowed to read
+	// the note (in addition to those with Editor access or better who
+	// appear in Author items).
+	FlagReaders
+	// FlagAuthors marks a text item listing names granted edit rights to
+	// the note even if their ACL level is only Author.
+	FlagAuthors
+	// FlagNames marks a text item holding user or server names.
+	FlagNames
+	// FlagProtected marks an item that only Manager-level users may modify.
+	FlagProtected
+	// FlagSealed marks an item whose value is encrypted for named
+	// recipients (see the core package's SealItem/OpenItem).
+	FlagSealed
+)
+
+// Has reports whether all bits of mask are set.
+func (f ItemFlags) Has(mask ItemFlags) bool { return f&mask == mask }
+
+// Value is an item value: a typed list. Exactly the slice matching Type is
+// populated (Raw uses Raw).
+type Value struct {
+	Type    ItemType
+	Text    []string
+	Numbers []float64
+	Times   []Timestamp
+	Raw     []byte
+}
+
+// Text returns a text value with the given entries.
+func TextValue(entries ...string) Value { return Value{Type: TypeText, Text: entries} }
+
+// NumberValue returns a number value with the given entries.
+func NumberValue(entries ...float64) Value { return Value{Type: TypeNumber, Numbers: entries} }
+
+// TimeValue returns a time value with the given entries.
+func TimeValue(entries ...Timestamp) Value { return Value{Type: TypeTime, Times: entries} }
+
+// RawValue returns a raw (opaque bytes) value.
+func RawValue(b []byte) Value { return Value{Type: TypeRaw, Raw: b} }
+
+// Len returns the number of list entries in v.
+func (v Value) Len() int {
+	switch v.Type {
+	case TypeText:
+		return len(v.Text)
+	case TypeNumber:
+		return len(v.Numbers)
+	case TypeTime:
+		return len(v.Times)
+	case TypeRaw:
+		if len(v.Raw) == 0 {
+			return 0
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether v and other hold the same type and entries.
+func (v Value) Equal(other Value) bool {
+	if v.Type != other.Type {
+		return false
+	}
+	switch v.Type {
+	case TypeText:
+		return slices.Equal(v.Text, other.Text)
+	case TypeNumber:
+		if len(v.Numbers) != len(other.Numbers) {
+			return false
+		}
+		for i, n := range v.Numbers {
+			o := other.Numbers[i]
+			if n != o && !(math.IsNaN(n) && math.IsNaN(o)) {
+				return false
+			}
+		}
+		return true
+	case TypeTime:
+		return slices.Equal(v.Times, other.Times)
+	case TypeRaw:
+		return slices.Equal(v.Raw, other.Raw)
+	default:
+		return true
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v Value) Clone() Value {
+	return Value{
+		Type:    v.Type,
+		Text:    slices.Clone(v.Text),
+		Numbers: slices.Clone(v.Numbers),
+		Times:   slices.Clone(v.Times),
+		Raw:     slices.Clone(v.Raw),
+	}
+}
+
+// String formats v for debugging and @Text-style conversion.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeText:
+		return strings.Join(v.Text, ";")
+	case TypeNumber:
+		parts := make([]string, len(v.Numbers))
+		for i, n := range v.Numbers {
+			parts[i] = formatNumber(n)
+		}
+		return strings.Join(parts, ";")
+	case TypeTime:
+		parts := make([]string, len(v.Times))
+		for i, t := range v.Times {
+			parts[i] = t.String()
+		}
+		return strings.Join(parts, ";")
+	case TypeRaw:
+		return fmt.Sprintf("<%d raw bytes>", len(v.Raw))
+	default:
+		return ""
+	}
+}
+
+func formatNumber(n float64) string {
+	if n == math.Trunc(n) && math.Abs(n) < 1e15 {
+		return fmt.Sprintf("%d", int64(n))
+	}
+	return fmt.Sprintf("%g", n)
+}
+
+// Item is a named, typed, flagged value on a note.
+type Item struct {
+	Name  string
+	Flags ItemFlags
+	Value Value
+	// Rev is the note sequence number at which the item last changed; it
+	// supports field-level replication conflict merging.
+	Rev uint32
+}
+
+// Clone returns a deep copy of it.
+func (it Item) Clone() Item {
+	it.Value = it.Value.Clone()
+	return it
+}
+
+// EqualNames reports whether two item names refer to the same item. Notes
+// item names are case-insensitive.
+func EqualNames(a, b string) bool { return strings.EqualFold(a, b) }

@@ -1,0 +1,146 @@
+package nsf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUNIDStringRoundTrip(t *testing.T) {
+	u := NewUNID()
+	got, err := ParseUNID(u.String())
+	if err != nil {
+		t.Fatalf("ParseUNID: %v", err)
+	}
+	if got != u {
+		t.Errorf("round trip: got %v want %v", got, u)
+	}
+	if _, err := ParseUNID("short"); err == nil {
+		t.Error("ParseUNID accepted short input")
+	}
+	if _, err := ParseUNID("zz000000000000000000000000000000"); err == nil {
+		t.Error("ParseUNID accepted non-hex input")
+	}
+}
+
+func TestReplicaIDStringRoundTrip(t *testing.T) {
+	r := NewReplicaID()
+	got, err := ParseReplicaID(r.String())
+	if err != nil {
+		t.Fatalf("ParseReplicaID: %v", err)
+	}
+	if got != r {
+		t.Errorf("round trip: got %v want %v", got, r)
+	}
+}
+
+func TestItemNameCaseInsensitive(t *testing.T) {
+	n := NewNote(ClassDocument)
+	n.SetText("Subject", "one")
+	n.SetText("SUBJECT", "two")
+	if len(n.Items) != 1 {
+		t.Fatalf("want 1 item, got %d", len(n.Items))
+	}
+	if got := n.Text("subject"); got != "two" {
+		t.Errorf("Text(subject) = %q, want %q", got, "two")
+	}
+	if !n.Remove("sUbJeCt") {
+		t.Error("Remove failed")
+	}
+	if n.Has("Subject") {
+		t.Error("item survived Remove")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := NewNote(ClassDocument)
+	n.SetNumber("Count", 5, 6)
+	n.SetTime("When", 77)
+	n.SetText("Tags", "x", "y")
+	if n.Number("Count") != 5 {
+		t.Errorf("Number = %v", n.Number("Count"))
+	}
+	if n.Time("When") != 77 {
+		t.Errorf("Time = %v", n.Time("When"))
+	}
+	if got := n.TextList("Tags"); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("TextList = %v", got)
+	}
+	if n.Number("Missing") != 0 || n.Text("Missing") != "" || n.Time("Missing") != 0 {
+		t.Error("missing items should yield zero values")
+	}
+}
+
+func TestOIDNewer(t *testing.T) {
+	base := OID{Seq: 3, SeqTime: 100}
+	cases := []struct {
+		name  string
+		other OID
+		want  bool
+	}{
+		{"higher seq wins", OID{Seq: 2, SeqTime: 999}, true},
+		{"lower seq loses", OID{Seq: 4, SeqTime: 1}, false},
+		{"tie later time wins", OID{Seq: 3, SeqTime: 50}, true},
+		{"tie earlier time loses", OID{Seq: 3, SeqTime: 150}, false},
+		{"identical is not newer", OID{Seq: 3, SeqTime: 100}, false},
+	}
+	for _, tc := range cases {
+		if got := base.Newer(tc.other); got != tc.want {
+			t.Errorf("%s: Newer = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReadersAuthors(t *testing.T) {
+	n := NewNote(ClassDocument)
+	if n.Readers() != nil {
+		t.Error("unrestricted note should have nil Readers")
+	}
+	n.SetWithFlags("DocReaders", TextValue("alice"), FlagReaders)
+	n.SetWithFlags("MoreReaders", TextValue("bob"), FlagReaders)
+	n.SetWithFlags("DocAuthors", TextValue("carol"), FlagAuthors)
+	if got := n.Readers(); !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+		t.Errorf("Readers = %v", got)
+	}
+	if got := n.Authors(); !reflect.DeepEqual(got, []string{"carol"}) {
+		t.Errorf("Authors = %v", got)
+	}
+}
+
+func TestChangedItems(t *testing.T) {
+	old := NewNote(ClassDocument)
+	old.SetText("A", "1")
+	old.SetText("B", "2")
+	old.SetText("C", "3")
+	cur := old.Clone()
+	cur.SetText("B", "changed")
+	cur.Remove("C")
+	cur.SetText("D", "new")
+	got := cur.ChangedItems(old)
+	want := []string{"b", "c", "d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ChangedItems = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := NewNote(ClassDocument)
+	n.SetText("Tags", "x")
+	c := n.Clone()
+	c.Items[0].Value.Text[0] = "mutated"
+	if n.Text("Tags") != "x" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSummaryProjection(t *testing.T) {
+	n := NewNote(ClassDocument)
+	n.SetWithFlags("Subject", TextValue("s"), FlagSummary)
+	n.SetText("Body", "big body")
+	s := n.Summary()
+	if s.Has("Body") || !s.Has("Subject") {
+		t.Errorf("Summary items = %v", s.ItemNames())
+	}
+	if s.OID != n.OID {
+		t.Error("Summary must preserve OID")
+	}
+}

@@ -1,0 +1,27 @@
+package nsf
+
+import "time"
+
+// Timestamp is a point in time with nanosecond resolution, stored as
+// nanoseconds since the Unix epoch. Timestamps produced by the hybrid
+// logical clock (internal/clock) are strictly monotonic per process, which
+// makes them usable as replication sequence times.
+type Timestamp int64
+
+// TimestampOf converts a time.Time to a Timestamp.
+func TimestampOf(t time.Time) Timestamp { return Timestamp(t.UnixNano()) }
+
+// Time converts ts back to a time.Time in UTC.
+func (ts Timestamp) Time() time.Time { return time.Unix(0, int64(ts)).UTC() }
+
+// Before reports whether ts is strictly earlier than other.
+func (ts Timestamp) Before(other Timestamp) bool { return ts < other }
+
+// After reports whether ts is strictly later than other.
+func (ts Timestamp) After(other Timestamp) bool { return ts > other }
+
+// IsZero reports whether ts is the zero Timestamp.
+func (ts Timestamp) IsZero() bool { return ts == 0 }
+
+// String formats ts as RFC 3339 with nanoseconds.
+func (ts Timestamp) String() string { return ts.Time().Format(time.RFC3339Nano) }

@@ -1,0 +1,90 @@
+// Package nsf implements the Notes Storage Facility data model: notes
+// (documents) made of typed items, identified by universal note IDs and
+// versioned by originator IDs. It also provides the canonical binary
+// encoding of notes used by both the storage engine and the wire protocol.
+package nsf
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// UNID is a universal note ID: a 16-byte identifier that is identical for
+// the same logical document in every replica of a database.
+type UNID [16]byte
+
+// NewUNID returns a fresh random UNID.
+func NewUNID() UNID {
+	var u UNID
+	if _, err := rand.Read(u[:]); err != nil {
+		// crypto/rand never fails on supported platforms; treat failure as fatal.
+		panic("nsf: reading random bytes: " + err.Error())
+	}
+	return u
+}
+
+// IsZero reports whether u is the zero UNID.
+func (u UNID) IsZero() bool {
+	return u == UNID{}
+}
+
+// String returns the canonical 32-character hex form of u.
+func (u UNID) String() string {
+	return hex.EncodeToString(u[:])
+}
+
+// ParseUNID parses the 32-character hex form produced by String.
+func ParseUNID(s string) (UNID, error) {
+	var u UNID
+	if len(s) != 32 {
+		return u, fmt.Errorf("nsf: parse UNID %q: want 32 hex chars, got %d", s, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return u, fmt.Errorf("nsf: parse UNID %q: %w", s, err)
+	}
+	copy(u[:], b)
+	return u, nil
+}
+
+// NoteID is a per-replica local note identifier assigned by the storage
+// engine. Unlike UNIDs, NoteIDs differ between replicas.
+type NoteID uint32
+
+// ReplicaID identifies a replication set: two databases with the same
+// ReplicaID are replicas of each other.
+type ReplicaID [8]byte
+
+// NewReplicaID returns a fresh random ReplicaID.
+func NewReplicaID() ReplicaID {
+	var r ReplicaID
+	if _, err := rand.Read(r[:]); err != nil {
+		panic("nsf: reading random bytes: " + err.Error())
+	}
+	return r
+}
+
+// IsZero reports whether r is the zero ReplicaID.
+func (r ReplicaID) IsZero() bool {
+	return r == ReplicaID{}
+}
+
+// String returns the canonical 16-character hex form of r.
+func (r ReplicaID) String() string {
+	return hex.EncodeToString(r[:])
+}
+
+// ParseReplicaID parses the 16-character hex form produced by String.
+func ParseReplicaID(s string) (ReplicaID, error) {
+	var r ReplicaID
+	if len(s) != 16 {
+		return r, fmt.Errorf("nsf: parse ReplicaID %q: want 16 hex chars, got %d", s, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return r, fmt.Errorf("nsf: parse ReplicaID %q: %w", s, err)
+	}
+	copy(r[:], b)
+	return r, nil
+}

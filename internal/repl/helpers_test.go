@@ -1,0 +1,10 @@
+package repl
+
+import (
+	"repro/internal/view"
+)
+
+func newSubjectDef() (*view.Definition, error) {
+	return view.NewDefinition("by subject", "SELECT @All",
+		view.Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+}

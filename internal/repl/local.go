@@ -1,0 +1,93 @@
+package repl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/nsf"
+)
+
+// LocalPeer adapts an open database to the Peer interface, evaluating
+// selective-replication formulas source-side and applying with the given
+// options.
+type LocalPeer struct {
+	DB   *core.Database
+	Opts ApplyOptions
+}
+
+var _ Peer = (*LocalPeer)(nil)
+
+// ReplicaID implements Peer.
+func (p *LocalPeer) ReplicaID() (nsf.ReplicaID, error) {
+	return p.DB.ReplicaID(), nil
+}
+
+// Summaries implements Peer: version summaries of notes modified after
+// since. Replication-bookkeeping notes never replicate; deletion stubs
+// bypass the selective formula (deletes always propagate).
+func (p *LocalPeer) Summaries(since nsf.Timestamp, formulaSrc string) ([]Summary, nsf.Timestamp, error) {
+	var sel *formula.Formula
+	if formulaSrc != "" {
+		f, err := formula.Compile(formulaSrc)
+		if err != nil {
+			return nil, 0, fmt.Errorf("repl: selective formula: %w", err)
+		}
+		sel = f
+	}
+	// Take the cursor before scanning: a write that lands mid-scan may be
+	// transferred twice, but never missed.
+	now := p.DB.Clock().Now()
+	var out []Summary
+	var evalErr error
+	err := p.DB.ScanModifiedSince(since, func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassReplFormula {
+			return true
+		}
+		if sel != nil && !n.IsStub() && n.Class == nsf.ClassDocument {
+			ok, err := sel.Selects(n, nil)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		out = append(out, SummaryOf(n))
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if evalErr != nil {
+		return nil, 0, evalErr
+	}
+	return out, now, nil
+}
+
+// Fetch implements Peer.
+func (p *LocalPeer) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
+	out := make([]*nsf.Note, 0, len(unids))
+	for _, u := range unids {
+		n, err := p.DB.RawGet(u)
+		if err != nil {
+			continue // vanished since the summary scan
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Apply implements Peer.
+func (p *LocalPeer) Apply(notes []*nsf.Note) (ApplyStats, error) {
+	var st ApplyStats
+	for _, n := range notes {
+		s, err := ApplyNote(p.DB, n, p.Opts)
+		if err != nil {
+			return st, err
+		}
+		st.Add(s)
+	}
+	return st, nil
+}

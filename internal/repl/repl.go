@@ -1,0 +1,130 @@
+// Package repl implements Notes replication: pairwise, bidirectional,
+// incremental synchronization between databases sharing a replica ID.
+//
+// Change detection uses originator IDs (sequence number + sequence time):
+// the replicator pulls version summaries modified since the last sync,
+// fetches the notes whose remote version wins the OID comparison, and
+// applies them locally. Deletions travel as deletion stubs. Concurrent
+// edits with equal sequence numbers are conflicts: the loser is preserved
+// as a "$Conflict" response document — or, when field-level merging is
+// enabled and the two edits touched disjoint item sets, merged into the
+// winner. Selective replication evaluates a formula on the source side.
+package repl
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/nsf"
+)
+
+// Summary is the version descriptor exchanged during the cheap first phase
+// of replication.
+type Summary struct {
+	UNID    nsf.UNID
+	Seq     uint32
+	SeqTime nsf.Timestamp
+	Deleted bool
+	Class   nsf.NoteClass
+}
+
+// summaryWireBytes approximates the on-wire size of one summary, for the
+// byte accounting in Stats.
+const summaryWireBytes = 16 + 4 + 8 + 1 + 2
+
+// OID reconstructs the summary's originator ID.
+func (s Summary) OID() nsf.OID {
+	return nsf.OID{UNID: s.UNID, Seq: s.Seq, SeqTime: s.SeqTime}
+}
+
+// SummaryOf builds the summary of a note.
+func SummaryOf(n *nsf.Note) Summary {
+	return Summary{
+		UNID:    n.OID.UNID,
+		Seq:     n.OID.Seq,
+		SeqTime: n.OID.SeqTime,
+		Deleted: n.IsStub(),
+		Class:   n.Class,
+	}
+}
+
+// Peer is one side of a replication session. A local database implements it
+// directly (LocalPeer); the wire package provides a remote implementation.
+type Peer interface {
+	// ReplicaID identifies the peer's replica set.
+	ReplicaID() (nsf.ReplicaID, error)
+	// Summaries lists version summaries of notes modified after since (in
+	// the peer's clock), filtered by the optional selective-replication
+	// formula source (stubs always pass). It also returns the peer's
+	// current clock reading, which the caller persists as the next cursor.
+	Summaries(since nsf.Timestamp, formulaSrc string) ([]Summary, nsf.Timestamp, error)
+	// Fetch returns the full notes for the given UNIDs; missing ones are
+	// silently omitted.
+	Fetch(unids []nsf.UNID) ([]*nsf.Note, error)
+	// Apply stores incoming notes on the peer using its conflict rules.
+	Apply(notes []*nsf.Note) (ApplyStats, error)
+}
+
+// ApplyStats counts the outcomes of applying a batch of notes.
+type ApplyStats struct {
+	Added     int // notes new to the receiver
+	Updated   int // newer versions accepted
+	Deleted   int // deletion stubs applied over live notes
+	Conflicts int // conflict documents created
+	Merged    int // conflicts resolved by field-level merge
+	Skipped   int // receiver already had this or a newer version
+}
+
+// Add accumulates other into s.
+func (s *ApplyStats) Add(other ApplyStats) {
+	s.Added += other.Added
+	s.Updated += other.Updated
+	s.Deleted += other.Deleted
+	s.Conflicts += other.Conflicts
+	s.Merged += other.Merged
+	s.Skipped += other.Skipped
+}
+
+// Total returns the number of notes that changed the receiver.
+func (s ApplyStats) Total() int {
+	return s.Added + s.Updated + s.Deleted + s.Conflicts + s.Merged
+}
+
+// Stats reports one replication session.
+type Stats struct {
+	Pull ApplyStats // changes applied locally
+	Push ApplyStats // changes applied at the peer
+	// SummariesIn counts version summaries received.
+	SummariesIn int
+	// NotesFetched counts full notes pulled.
+	NotesFetched int
+	// NotesSent counts full notes pushed.
+	NotesSent int
+	// BytesIn/BytesOut approximate transfer volume (encoded note bytes plus
+	// summary records).
+	BytesIn  int64
+	BytesOut int64
+}
+
+// String renders a compact session summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("pull[+%d ~%d -%d c%d m%d s%d] push[+%d ~%d -%d c%d m%d s%d] bytes[in %d out %d]",
+		s.Pull.Added, s.Pull.Updated, s.Pull.Deleted, s.Pull.Conflicts, s.Pull.Merged, s.Pull.Skipped,
+		s.Push.Added, s.Push.Updated, s.Push.Deleted, s.Push.Conflicts, s.Push.Merged, s.Push.Skipped,
+		s.BytesIn, s.BytesOut)
+}
+
+// conflictUNID derives the deterministic UNID of the conflict document
+// preserving the losing version, so that every replica that detects the
+// same conflict materializes the same document and replication converges.
+func conflictUNID(loser nsf.OID) nsf.UNID {
+	var buf [28]byte
+	copy(buf[:16], loser.UNID[:])
+	binary.LittleEndian.PutUint32(buf[16:], loser.Seq)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(loser.SeqTime))
+	sum := sha256.Sum256(buf[:])
+	var u nsf.UNID
+	copy(u[:], sum[:16])
+	return u
+}

@@ -1,0 +1,281 @@
+package repl
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/formula"
+	"repro/internal/nsf"
+)
+
+// Options configure one replication session.
+type Options struct {
+	// PeerName identifies the remote instance for history bookkeeping
+	// (e.g. a server name or file path). Required for incremental
+	// replication; when empty, every session starts from time zero.
+	PeerName string
+	// Apply tunes local conflict handling.
+	Apply ApplyOptions
+	// Formula is a selective-replication formula source applied in both
+	// directions (evaluated on whichever side holds the notes). Empty
+	// replicates everything.
+	Formula string
+	// PullOnly disables the push phase.
+	PullOnly bool
+	// PushOnly disables the pull phase.
+	PushOnly bool
+	// Full ignores replication history and exchanges complete inventories;
+	// used by the full-copy baseline experiment.
+	Full bool
+}
+
+// history tracks the cursors of past sessions with a peer. It lives in a
+// note of class ClassReplFormula, which never replicates (cursors are
+// meaningful only to this instance).
+type history struct {
+	LastPull nsf.Timestamp // peer clock at the end of the last pull
+	LastPush nsf.Timestamp // local clock at the end of the last push
+}
+
+func historyUNID(peerName string) nsf.UNID {
+	sum := sha256.Sum256([]byte("replhistory:" + peerName))
+	var u nsf.UNID
+	copy(u[:], sum[:16])
+	return u
+}
+
+func loadHistory(db *core.Database, peerName string) (history, error) {
+	if peerName == "" {
+		return history{}, nil
+	}
+	n, err := db.RawGet(historyUNID(peerName))
+	if errors.Is(err, core.ErrNotFound) {
+		return history{}, nil
+	}
+	if err != nil {
+		return history{}, err
+	}
+	return history{
+		LastPull: n.Time("LastPull"),
+		LastPush: n.Time("LastPush"),
+	}, nil
+}
+
+func saveHistory(db *core.Database, peerName string, h history) error {
+	if peerName == "" {
+		return nil
+	}
+	unid := historyUNID(peerName)
+	n, err := db.RawGet(unid)
+	if errors.Is(err, core.ErrNotFound) {
+		n = &nsf.Note{
+			OID:   nsf.OID{UNID: unid, Seq: 1, SeqTime: db.Clock().Now()},
+			Class: nsf.ClassReplFormula,
+		}
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	n.SetText("Peer", peerName)
+	n.SetTime("LastPull", h.LastPull)
+	n.SetTime("LastPush", h.LastPush)
+	n.OID.Seq++
+	n.OID.SeqTime = db.Clock().Now()
+	return db.RawPut(n)
+}
+
+// Replicate runs one replication session between the local database and a
+// peer: pull remote changes, then push local ones. It returns transfer and
+// outcome statistics.
+func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
+	var stats Stats
+	remoteReplica, err := peer.ReplicaID()
+	if err != nil {
+		return stats, err
+	}
+	if remoteReplica != local.ReplicaID() {
+		return stats, fmt.Errorf("repl: replica ID mismatch: local %s, peer %s",
+			local.ReplicaID(), remoteReplica)
+	}
+	h, err := loadHistory(local, opts.PeerName)
+	if err != nil {
+		return stats, err
+	}
+	if opts.Full {
+		h = history{}
+	}
+	if !opts.PushOnly {
+		peerNow, err := pull(local, peer, &stats, h.LastPull, opts)
+		if err != nil {
+			return stats, err
+		}
+		h.LastPull = peerNow
+	}
+	if !opts.PullOnly {
+		localNow, err := push(local, peer, &stats, h.LastPush, opts)
+		if err != nil {
+			return stats, err
+		}
+		h.LastPush = localNow
+	}
+	if !opts.Full {
+		if err := saveHistory(local, opts.PeerName, h); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// pull fetches remote changes since the cursor and applies them locally.
+func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, opts Options) (nsf.Timestamp, error) {
+	sums, peerNow, err := peer.Summaries(since, opts.Formula)
+	if err != nil {
+		return 0, err
+	}
+	stats.SummariesIn += len(sums)
+	stats.BytesIn += int64(len(sums)) * summaryWireBytes
+	var need []nsf.UNID
+	for _, s := range sums {
+		cur, err := local.RawGet(s.UNID)
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			need = append(need, s.UNID)
+		case err != nil:
+			return 0, err
+		case cur.OID == s.OID():
+			stats.Pull.Skipped++
+		case s.OID().Newer(cur.OID) || s.Seq == cur.OID.Seq:
+			// Either the remote wins, or it is a potential conflict that
+			// needs the full note to resolve.
+			need = append(need, s.UNID)
+		default:
+			stats.Pull.Skipped++
+		}
+	}
+	notes, err := peer.Fetch(need)
+	if err != nil {
+		return 0, err
+	}
+	stats.NotesFetched += len(notes)
+	for _, n := range notes {
+		stats.BytesIn += int64(len(nsf.EncodeNote(n)))
+		st, err := ApplyNote(local, n, opts.Apply)
+		if err != nil {
+			return 0, err
+		}
+		stats.Pull.Add(st)
+	}
+	return peerNow, nil
+}
+
+// push sends local changes since the cursor for the peer to apply.
+func push(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, opts Options) (nsf.Timestamp, error) {
+	var sel *formula.Formula
+	if opts.Formula != "" {
+		f, err := formula.Compile(opts.Formula)
+		if err != nil {
+			return 0, err
+		}
+		sel = f
+	}
+	localNow := local.Clock().Now()
+	var batch []*nsf.Note
+	var evalErr error
+	err := local.ScanModifiedSince(since, func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassReplFormula {
+			return true
+		}
+		if sel != nil && !n.IsStub() && n.Class == nsf.ClassDocument {
+			ok, err := sel.Selects(n, nil)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		batch = append(batch, n)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, n := range batch {
+		stats.BytesOut += int64(len(nsf.EncodeNote(n)))
+	}
+	stats.NotesSent += len(batch)
+	if len(batch) > 0 {
+		st, err := peer.Apply(batch)
+		if err != nil {
+			return 0, err
+		}
+		stats.Push.Add(st)
+	}
+	return localNow, nil
+}
+
+// FullCopy is the naive baseline: it transfers the peer's complete note
+// inventory and applies it blindly (no summary phase, no OID pre-filtering
+// beyond the receiver's apply rules), then does the same in reverse.
+func FullCopy(local *core.Database, peer Peer) (Stats, error) {
+	var stats Stats
+	remoteReplica, err := peer.ReplicaID()
+	if err != nil {
+		return stats, err
+	}
+	if remoteReplica != local.ReplicaID() {
+		return stats, fmt.Errorf("repl: replica ID mismatch")
+	}
+	// Pull everything.
+	sums, _, err := peer.Summaries(0, "")
+	if err != nil {
+		return stats, err
+	}
+	unids := make([]nsf.UNID, len(sums))
+	for i, s := range sums {
+		unids[i] = s.UNID
+	}
+	notes, err := peer.Fetch(unids)
+	if err != nil {
+		return stats, err
+	}
+	stats.NotesFetched = len(notes)
+	for _, n := range notes {
+		stats.BytesIn += int64(len(nsf.EncodeNote(n)))
+		st, err := ApplyNote(local, n, ApplyOptions{})
+		if err != nil {
+			return stats, err
+		}
+		stats.Pull.Add(st)
+	}
+	// Push everything.
+	var batch []*nsf.Note
+	err = local.ScanAll(func(n *nsf.Note) bool {
+		if n.Class != nsf.ClassReplFormula {
+			batch = append(batch, n)
+		}
+		return true
+	})
+	if err != nil {
+		return stats, err
+	}
+	stats.NotesSent = len(batch)
+	for _, n := range batch {
+		stats.BytesOut += int64(len(nsf.EncodeNote(n)))
+	}
+	if len(batch) > 0 {
+		st, err := peer.Apply(batch)
+		if err != nil {
+			return stats, err
+		}
+		stats.Push.Add(st)
+	}
+	return stats, nil
+}

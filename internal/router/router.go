@@ -1,0 +1,202 @@
+// Package router implements Notes mail routing. Mail is just documents: a
+// client deposits a memo into the server's mail.box database; the router
+// task delivers it into local recipients' mail files and forwards it to the
+// home servers of remote recipients.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+// Mail item names.
+const (
+	ItemSendTo        = "SendTo"
+	ItemFrom          = "From"
+	ItemSubject       = "Subject"
+	ItemDeliveredDate = "DeliveredDate"
+	ItemRoutingState  = "$RoutingState"
+	ItemFailureReason = "$FailureReason"
+
+	stateDead = "dead"
+)
+
+// Router moves messages from mail.box to their destinations.
+type Router struct {
+	// ServerName is the local server's name, matched against users'
+	// MailServer fields.
+	ServerName string
+	// Mailbox is the mail.box database messages are deposited into.
+	Mailbox *core.Database
+	// Directory resolves recipients.
+	Directory *dir.Directory
+	// OpenMailFile opens (or creates) a local mail database by path.
+	OpenMailFile func(path string) (*core.Database, error)
+	// Forward sends a message to a remote server's mail.box; nil disables
+	// forwarding (remote mail dead-letters).
+	Forward func(server string, msg *nsf.Note) error
+}
+
+// Stats reports one routing pass.
+type Stats struct {
+	Delivered  int // local recipient deliveries
+	Forwarded  int // messages handed to remote servers
+	DeadLetter int // undeliverable recipients
+}
+
+// Deposit validates and stores a message in mail.box. The message keeps the
+// sender-supplied items; routing state is tracked separately.
+func (r *Router) Deposit(msg *nsf.Note) error {
+	if len(expandRecipients(r.Directory, msg.TextList(ItemSendTo))) == 0 {
+		return fmt.Errorf("router: message has no recipients")
+	}
+	m := msg.Clone()
+	if m.OID.UNID.IsZero() {
+		m.OID.UNID = nsf.NewUNID()
+	}
+	m.ID = 0
+	m.Class = nsf.ClassDocument
+	if m.OID.Seq == 0 {
+		m.OID.Seq = 1
+	}
+	now := r.Mailbox.Clock().Now()
+	m.OID.SeqTime = now
+	if m.Created == 0 {
+		m.Created = now
+	}
+	return r.Mailbox.RawPut(m)
+}
+
+// expandRecipients resolves groups in a SendTo list into user names.
+func expandRecipients(d *dir.Directory, sendTo []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		k := strings.ToLower(strings.TrimSpace(name))
+		if k != "" && !seen[k] {
+			seen[k] = true
+			out = append(out, name)
+		}
+	}
+	for _, name := range sendTo {
+		if d != nil {
+			if _, ok := d.Members(name); ok {
+				for _, u := range d.ExpandGroup(name) {
+					add(u)
+				}
+				continue
+			}
+		}
+		add(name)
+	}
+	return out
+}
+
+// RouteOnce performs one routing pass over mail.box, returning statistics.
+// Messages already dead-lettered are skipped; everything else is delivered,
+// forwarded, or dead-lettered and then removed from mail.box.
+func (r *Router) RouteOnce() (Stats, error) {
+	var stats Stats
+	var pending []*nsf.Note
+	err := r.Mailbox.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && !n.IsStub() && n.Text(ItemRoutingState) != stateDead {
+			pending = append(pending, n)
+		}
+		return true
+	})
+	if err != nil {
+		return stats, err
+	}
+	for _, msg := range pending {
+		failures, err := r.routeMessage(msg, &stats)
+		if err != nil {
+			return stats, err
+		}
+		if len(failures) > 0 {
+			// Keep the message as a dead letter recording what failed.
+			dead := msg.Clone()
+			dead.SetText(ItemRoutingState, stateDead)
+			dead.SetText(ItemFailureReason, failures...)
+			dead.OID.Seq++
+			dead.OID.SeqTime = r.Mailbox.Clock().Now()
+			if err := r.Mailbox.RawPut(dead); err != nil {
+				return stats, err
+			}
+			stats.DeadLetter += len(failures)
+			continue
+		}
+		if err := r.Mailbox.RawDelete(msg.OID.UNID); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// routeMessage delivers one message to all recipients, returning failure
+// descriptions for those that could not be handled.
+func (r *Router) routeMessage(msg *nsf.Note, stats *Stats) ([]string, error) {
+	recipients := expandRecipients(r.Directory, msg.TextList(ItemSendTo))
+	var failures []string
+	// Group remote recipients per server so each server gets one copy.
+	remote := make(map[string][]string)
+	for _, name := range recipients {
+		u, ok := r.Directory.Lookup(name)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no such user", name))
+			continue
+		}
+		if u.MailServer != "" && !strings.EqualFold(u.MailServer, r.ServerName) {
+			remote[u.MailServer] = append(remote[u.MailServer], u.Name)
+			continue
+		}
+		if u.MailFile == "" {
+			failures = append(failures, fmt.Sprintf("%s: no mail file", name))
+			continue
+		}
+		if err := r.deliverLocal(u, msg); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		stats.Delivered++
+	}
+	for server, names := range remote {
+		if r.Forward == nil {
+			for _, n := range names {
+				failures = append(failures, fmt.Sprintf("%s: no route to server %s", n, server))
+			}
+			continue
+		}
+		fwd := msg.Clone()
+		fwd.SetText(ItemSendTo, names...)
+		if err := r.Forward(server, fwd); err != nil {
+			for _, n := range names {
+				failures = append(failures, fmt.Sprintf("%s: forward to %s: %v", n, server, err))
+			}
+			continue
+		}
+		stats.Forwarded++
+	}
+	return failures, nil
+}
+
+// deliverLocal copies the message into a local user's mail file.
+func (r *Router) deliverLocal(u dir.User, msg *nsf.Note) error {
+	if r.OpenMailFile == nil {
+		return errors.New("router: no mail file opener configured")
+	}
+	db, err := r.OpenMailFile(u.MailFile)
+	if err != nil {
+		return err
+	}
+	copyMsg := msg.Clone()
+	copyMsg.ID = 0
+	copyMsg.OID = nsf.OID{UNID: nsf.NewUNID(), Seq: 1, SeqTime: db.Clock().Now()}
+	copyMsg.SetTime(ItemDeliveredDate, db.Clock().Now())
+	copyMsg.Remove(ItemRoutingState)
+	return db.RawPut(copyMsg)
+}

@@ -1,0 +1,202 @@
+package router
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+type fixture struct {
+	r     *Router
+	mail  map[string]*core.Database
+	fwd   []string // "server:recipients" log
+	d     *dir.Directory
+	t     *testing.T
+	dirNo int
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", MailFile: "mail/ada.nsf"})
+	d.AddUser(dir.User{Name: "bob", MailFile: "mail/bob.nsf"})
+	d.AddUser(dir.User{Name: "roy", MailFile: "mail/roy.nsf", MailServer: "remote1"})
+	d.AddUser(dir.User{Name: "nofile"})
+	d.AddGroup("team", "ada", "bob")
+	mailbox, err := core.Open(filepath.Join(t.TempDir(), "mail.box"), core.Options{Title: "mail.box"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mailbox.Close() })
+	f := &fixture{mail: make(map[string]*core.Database), d: d, t: t}
+	f.r = &Router{
+		ServerName: "local",
+		Mailbox:    mailbox,
+		Directory:  d,
+		OpenMailFile: func(path string) (*core.Database, error) {
+			if db, ok := f.mail[path]; ok {
+				return db, nil
+			}
+			f.dirNo++
+			db, err := core.Open(filepath.Join(t.TempDir(), fmt.Sprintf("m%d.nsf", f.dirNo)), core.Options{Title: path})
+			if err != nil {
+				return nil, err
+			}
+			t.Cleanup(func() { db.Close() })
+			f.mail[path] = db
+			return db, nil
+		},
+		Forward: func(server string, msg *nsf.Note) error {
+			f.fwd = append(f.fwd, server+":"+strings.Join(msg.TextList(ItemSendTo), ","))
+			return nil
+		},
+	}
+	return f
+}
+
+func message(to ...string) *nsf.Note {
+	m := nsf.NewNote(nsf.ClassDocument)
+	m.SetText(ItemSendTo, to...)
+	m.SetText(ItemFrom, "sender")
+	m.SetText(ItemSubject, "hi")
+	m.SetText("Body", "hello there")
+	return m
+}
+
+func (f *fixture) inboxCount(path string) int {
+	db, ok := f.mail[path]
+	if !ok {
+		return 0
+	}
+	count := 0
+	db.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && !n.IsStub() {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+func TestLocalDelivery(t *testing.T) {
+	f := newFixture(t)
+	if err := f.r.Deposit(message("ada")); err != nil {
+		t.Fatalf("Deposit: %v", err)
+	}
+	st, err := f.r.RouteOnce()
+	if err != nil {
+		t.Fatalf("RouteOnce: %v", err)
+	}
+	if st.Delivered != 1 || st.Forwarded != 0 || st.DeadLetter != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if f.inboxCount("mail/ada.nsf") != 1 {
+		t.Error("message not in ada's mail file")
+	}
+	// mail.box is drained.
+	if f.r.Mailbox.Count() != 0 {
+		t.Errorf("mail.box still has %d notes", f.r.Mailbox.Count())
+	}
+	// Delivered copy has a DeliveredDate.
+	db := f.mail["mail/ada.nsf"]
+	db.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && n.Time(ItemDeliveredDate) == 0 {
+			t.Error("delivered message missing DeliveredDate")
+		}
+		return true
+	})
+}
+
+func TestGroupExpansion(t *testing.T) {
+	f := newFixture(t)
+	f.r.Deposit(message("team"))
+	st, err := f.r.RouteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 2 {
+		t.Errorf("delivered %d, want 2", st.Delivered)
+	}
+	if f.inboxCount("mail/ada.nsf") != 1 || f.inboxCount("mail/bob.nsf") != 1 {
+		t.Error("group members did not each get a copy")
+	}
+}
+
+func TestRemoteForwarding(t *testing.T) {
+	f := newFixture(t)
+	f.r.Deposit(message("ada", "roy"))
+	st, err := f.r.RouteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.Forwarded != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(f.fwd) != 1 || f.fwd[0] != "remote1:roy" {
+		t.Errorf("forward log = %v", f.fwd)
+	}
+}
+
+func TestDeadLetters(t *testing.T) {
+	f := newFixture(t)
+	f.r.Deposit(message("ghost", "ada"))
+	st, err := f.r.RouteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 1 || st.DeadLetter != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The dead letter stays in mail.box, marked, and is not re-routed.
+	if f.r.Mailbox.Count() != 1 {
+		t.Errorf("mail.box count = %d", f.r.Mailbox.Count())
+	}
+	st, err = f.r.RouteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 0 && st.DeadLetter != 0 {
+		t.Errorf("dead letter re-routed: %+v", st)
+	}
+}
+
+func TestNoFileUserDeadLetters(t *testing.T) {
+	f := newFixture(t)
+	f.r.Deposit(message("nofile"))
+	st, _ := f.r.RouteOnce()
+	if st.DeadLetter != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDepositRejectsNoRecipients(t *testing.T) {
+	f := newFixture(t)
+	m := message()
+	if err := f.r.Deposit(m); err == nil {
+		t.Error("empty SendTo accepted")
+	}
+}
+
+func TestThroughputManyMessages(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 100; i++ {
+		if err := f.r.Deposit(message("ada")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := f.r.RouteOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 100 {
+		t.Errorf("delivered %d", st.Delivered)
+	}
+	if f.inboxCount("mail/ada.nsf") != 100 {
+		t.Errorf("inbox has %d", f.inboxCount("mail/ada.nsf"))
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/nsf"
+)
+
+// The database catalog (catalog.nsf): one document per database on the
+// server, refreshed by a server task, so users and administrators can
+// browse what exists. Mirrors Domino's catalog task.
+
+// CatalogPath is the catalog database's path in the data directory.
+const CatalogPath = "catalog.nsf"
+
+func catalogDocUNID(server, dbPath string) nsf.UNID {
+	sum := sha256.Sum256([]byte("catalog:" + server + ":" + dbPath))
+	var u nsf.UNID
+	copy(u[:], sum[:16])
+	return u
+}
+
+// RefreshCatalog (re)writes one catalog document per open database and
+// removes entries for databases no longer present. It returns the number
+// of entries written.
+func (s *Server) RefreshCatalog() (int, error) {
+	cat, err := s.OpenDB(CatalogPath, core.Options{Title: "Database Catalog"})
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	paths := make([]string, 0, len(s.dbs))
+	dbs := make(map[string]*core.Database, len(s.dbs))
+	for path, db := range s.dbs {
+		if path == CatalogPath {
+			continue
+		}
+		paths = append(paths, path)
+		dbs[path] = db
+	}
+	s.mu.Unlock()
+	sort.Strings(paths)
+
+	valid := make(map[nsf.UNID]bool, len(paths))
+	written := 0
+	for _, path := range paths {
+		db := dbs[path]
+		unid := catalogDocUNID(s.opts.Name, path)
+		valid[unid] = true
+		n, err := cat.RawGet(unid)
+		if errors.Is(err, core.ErrNotFound) {
+			n = &nsf.Note{OID: nsf.OID{UNID: unid}, Class: nsf.ClassDocument, Created: s.clock.Now()}
+			err = nil
+		}
+		if err != nil {
+			return written, err
+		}
+		stats := db.Stats()
+		n.SetWithFlags("Form", nsf.TextValue("Catalog"), nsf.FlagSummary)
+		n.SetWithFlags("Server", nsf.TextValue(s.opts.Name), nsf.FlagSummary)
+		n.SetWithFlags("Path", nsf.TextValue(path), nsf.FlagSummary)
+		n.SetWithFlags("Title", nsf.TextValue(db.Title()), nsf.FlagSummary)
+		n.SetWithFlags("ReplicaID", nsf.TextValue(db.ReplicaID().String()), nsf.FlagSummary)
+		n.SetNumber("Notes", float64(stats.Notes))
+		n.SetNumber("Pages", float64(stats.Pages))
+		n.OID.Seq++
+		n.OID.SeqTime = s.clock.Now()
+		n.Modified = s.clock.Now()
+		if err := cat.RawPut(n); err != nil {
+			return written, err
+		}
+		written++
+	}
+	// Drop catalog docs for databases that disappeared.
+	var stale []nsf.UNID
+	err = cat.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && !n.IsStub() &&
+			n.Text("Form") == "Catalog" && !valid[n.OID.UNID] {
+			stale = append(stale, n.OID.UNID)
+		}
+		return true
+	})
+	if err != nil {
+		return written, err
+	}
+	for _, u := range stale {
+		if err := cat.RawDelete(u); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nsf"
+	"repro/internal/wire"
+)
+
+// Cluster replication: Domino clusters push changes to cluster mates as
+// they happen (event-driven), rather than waiting for the scheduled
+// replicator. Every save on a clustered database is queued and applied on
+// each mate within moments. The scheduled replicator remains the catch-up
+// path after outages.
+
+// clusterEvent is one pending push.
+type clusterEvent struct {
+	dbPath string
+	note   *nsf.Note
+}
+
+// clusterPusher streams change events to one cluster mate.
+type clusterPusher struct {
+	server   *Server
+	mateName string
+	mateAddr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []clusterEvent
+	closed  bool
+	dropped int
+
+	client  *wire.Client
+	remotes map[string]*wire.RemoteDB
+}
+
+// EnableClustering starts event-driven push replication to the given mates
+// (name -> address) for every database the server has opened or will open.
+// Events that cannot be delivered after retries are dropped and left to the
+// scheduled replicator; Dropped() exposes the count.
+func (s *Server) EnableClustering(mates map[string]string) {
+	s.mu.Lock()
+	for name, addr := range mates {
+		p := &clusterPusher{server: s, mateName: name, mateAddr: addr, remotes: make(map[string]*wire.RemoteDB)}
+		p.cond = sync.NewCond(&p.mu)
+		s.cluster = append(s.cluster, p)
+		s.wg.Add(1)
+		go p.run()
+	}
+	// Hook databases that are already open.
+	dbs := make(map[string]*core.Database, len(s.dbs))
+	for path, db := range s.dbs {
+		dbs[path] = db
+	}
+	s.mu.Unlock()
+	for path, db := range dbs {
+		s.hookClusterDB(path, db)
+	}
+}
+
+// localOnlyDBs are server-private databases that never cluster-replicate.
+var localOnlyDBs = map[string]bool{
+	"mail.box":  true,
+	LogPath:     true,
+	CatalogPath: true,
+}
+
+// hookClusterDB subscribes the cluster pushers to a database's changes.
+func (s *Server) hookClusterDB(path string, db *core.Database) {
+	if localOnlyDBs[path] {
+		return
+	}
+	s.mu.Lock()
+	pushers := append([]*clusterPusher(nil), s.cluster...)
+	s.mu.Unlock()
+	if len(pushers) == 0 {
+		return
+	}
+	db.OnChange(func(n *nsf.Note) {
+		if n.Class == nsf.ClassReplFormula {
+			return // local bookkeeping never replicates
+		}
+		ev := clusterEvent{dbPath: path, note: n.Clone()}
+		for _, p := range pushers {
+			p.enqueue(ev)
+		}
+	})
+}
+
+func (p *clusterPusher) enqueue(ev clusterEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	const maxQueue = 10000
+	if len(p.queue) >= maxQueue {
+		p.dropped++
+		return
+	}
+	p.queue = append(p.queue, ev)
+	p.cond.Signal()
+}
+
+// Dropped returns events abandoned due to overflow or delivery failure, for
+// all mates.
+func (s *Server) Dropped() int {
+	s.mu.Lock()
+	pushers := append([]*clusterPusher(nil), s.cluster...)
+	s.mu.Unlock()
+	total := 0
+	for _, p := range pushers {
+		p.mu.Lock()
+		total += p.dropped
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// run drains the queue, delivering events to the mate.
+func (p *clusterPusher) run() {
+	defer p.server.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			p.disconnect()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		for _, ev := range batch {
+			if err := p.deliver(ev); err != nil {
+				// One reconnect attempt, then hand the event to the
+				// scheduled replicator (drop).
+				p.disconnect()
+				if err := p.deliver(ev); err != nil {
+					p.mu.Lock()
+					p.dropped++
+					p.mu.Unlock()
+					log.Printf("cluster: push to %s failed: %v", p.mateName, err)
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+		}
+	}
+}
+
+// deliver applies one event on the mate, connecting lazily.
+func (p *clusterPusher) deliver(ev clusterEvent) error {
+	if p.client == nil {
+		c, err := wire.Dial(p.mateAddr, p.server.opts.Name, p.server.opts.PeerSecret)
+		if err != nil {
+			return err
+		}
+		p.client = c
+		p.remotes = make(map[string]*wire.RemoteDB)
+	}
+	rdb, ok := p.remotes[ev.dbPath]
+	if !ok {
+		r, err := p.client.OpenDB(ev.dbPath)
+		if err != nil {
+			return err
+		}
+		rdb = r
+		p.remotes[ev.dbPath] = rdb
+	}
+	_, err := rdb.Apply([]*nsf.Note{ev.note})
+	return err
+}
+
+func (p *clusterPusher) disconnect() {
+	if p.client != nil {
+		p.client.Close()
+		p.client = nil
+		p.remotes = nil
+	}
+}
+
+// stopCluster shuts the pushers down (called from Close).
+func (s *Server) stopCluster() {
+	s.mu.Lock()
+	pushers := append([]*clusterPusher(nil), s.cluster...)
+	s.mu.Unlock()
+	for _, p := range pushers {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
+}

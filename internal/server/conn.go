@@ -1,0 +1,388 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+
+	"repro/internal/acl"
+	"repro/internal/core"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+// connState tracks one client connection's authenticated session.
+type connState struct {
+	s       *Server
+	user    string
+	handles map[uint32]*handleState
+	nextH   uint32
+}
+
+type handleState struct {
+	db   *core.Database
+	sess *core.Session
+}
+
+// handleConn runs the request loop for one connection.
+func (s *Server) handleConn(conn net.Conn) {
+	st := &connState{s: s, handles: make(map[uint32]*handleState), nextH: 1}
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // closed or broken connection
+		}
+		if len(payload) == 0 {
+			return
+		}
+		op := wire.Op(payload[0])
+		resp := st.dispatch(op, wire.NewDec(payload[1:]))
+		if err := wire.WriteFrame(conn, resp.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// fail builds an error response.
+func fail(op wire.Op, err error) *wire.Enc {
+	return wire.NewResp(op, wire.StatusError).Str(err.Error())
+}
+
+func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
+	if c.user == "" && op != wire.OpHello {
+		return fail(op, errors.New("not authenticated"))
+	}
+	var resp *wire.Enc
+	var err error
+	switch op {
+	case wire.OpHello:
+		resp, err = c.hello(d)
+	case wire.OpOpenDB:
+		resp, err = c.openDB(d)
+	case wire.OpGetNote:
+		resp, err = c.getNote(d)
+	case wire.OpCreateNote:
+		resp, err = c.createNote(d)
+	case wire.OpUpdateNote:
+		resp, err = c.updateNote(d)
+	case wire.OpDeleteNote:
+		resp, err = c.deleteNote(d)
+	case wire.OpViewRows:
+		resp, err = c.viewRows(d)
+	case wire.OpSearch:
+		resp, err = c.search(d)
+	case wire.OpSummaries:
+		resp, err = c.summaries(d)
+	case wire.OpFetch:
+		resp, err = c.fetch(d)
+	case wire.OpApply:
+		resp, err = c.apply(d)
+	case wire.OpMailDeposit:
+		resp, err = c.mailDeposit(d)
+	case wire.OpDBInfo:
+		resp, err = c.dbInfo(d)
+	default:
+		err = fmt.Errorf("unknown operation %#x", byte(op))
+	}
+	if err != nil {
+		return fail(op, err)
+	}
+	return resp
+}
+
+func (c *connState) hello(d *wire.Dec) (*wire.Enc, error) {
+	version := d.U32()
+	user := d.Str()
+	secret := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("unsupported protocol version %d", version)
+	}
+	if !c.s.opts.Directory.Authenticate(user, secret) {
+		c.s.logf(LogSession, "failed authentication for %q", user)
+		return nil, errors.New("authentication failed")
+	}
+	c.user = user
+	c.s.logf(LogSession, "%s authenticated", user)
+	return wire.NewResp(wire.OpHello, wire.StatusOK), nil
+}
+
+func (c *connState) openDB(d *wire.Dec) (*wire.Enc, error) {
+	path := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	db, ok := c.s.DB(path)
+	if !ok {
+		// Only pre-opened databases are reachable remotely; opening
+		// arbitrary paths would let clients create databases.
+		return nil, fmt.Errorf("no database %q", path)
+	}
+	sess := db.Session(c.user)
+	if sess.Identity().Level == acl.NoAccess {
+		return nil, fmt.Errorf("%s has no access to %q", c.user, path)
+	}
+	h := c.nextH
+	c.nextH++
+	c.handles[h] = &handleState{db: db, sess: sess}
+	replica := db.ReplicaID()
+	return wire.NewResp(wire.OpOpenDB, wire.StatusOK).
+		U32(h).Raw(replica[:]).Str(db.Title()), nil
+}
+
+func (c *connState) handle(d *wire.Dec) (*handleState, error) {
+	h := d.U32()
+	hs, ok := c.handles[h]
+	if !ok {
+		return nil, fmt.Errorf("bad database handle %d", h)
+	}
+	return hs, nil
+}
+
+func (c *connState) getNote(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	unid := d.UNID()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	n, err := hs.sess.Get(unid)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpGetNote, wire.StatusOK).Note(n), nil
+}
+
+func (c *connState) createNote(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Note()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	n.ID = 0
+	if err := hs.sess.Create(n); err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpCreateNote, wire.StatusOK).Note(n), nil
+}
+
+func (c *connState) updateNote(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	n := d.Note()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := hs.sess.Update(n); err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpUpdateNote, wire.StatusOK).Note(n), nil
+}
+
+func (c *connState) deleteNote(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	unid := d.UNID()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := hs.sess.Delete(unid); err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpDeleteNote, wire.StatusOK), nil
+}
+
+func (c *connState) viewRows(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	name := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	rows, err := hs.sess.Rows(name)
+	if err != nil {
+		return nil, err
+	}
+	// Synthetic grand-total rows are not representable in the wire row
+	// format; remote clients recompute totals if they need them.
+	filtered := rows[:0]
+	for _, r := range rows {
+		if !r.GrandTotal {
+			filtered = append(filtered, r)
+		}
+	}
+	rows = filtered
+	resp := wire.NewResp(wire.OpViewRows, wire.StatusOK).U32(uint32(len(rows)))
+	for _, r := range rows {
+		resp.Str(r.Category).U32(uint32(r.Indent))
+		if r.Entry != nil {
+			resp.UNID(r.Entry.UNID)
+			resp.U32(uint32(len(r.Entry.Values)))
+			for i := range r.Entry.Values {
+				resp.Str(r.Entry.ColumnText(i))
+			}
+		} else {
+			resp.UNID(nsf.UNID{})
+			resp.U32(0)
+		}
+	}
+	return resp, nil
+}
+
+func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	query := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	hits, err := hs.sess.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	resp := wire.NewResp(wire.OpSearch, wire.StatusOK).U32(uint32(len(hits)))
+	for _, h := range hits {
+		resp.UNID(h.UNID).U64(uint64(math.Round(h.Score * 1e6)))
+	}
+	return resp, nil
+}
+
+// replAccess gates raw replication operations: the caller needs Editor
+// access (servers replicate with server identities granted Editor or
+// better).
+func (c *connState) replAccess(hs *handleState, needWrite bool) error {
+	level := hs.sess.Identity().Level
+	if needWrite && level < acl.Editor {
+		return fmt.Errorf("%s may not replicate changes into this database (level %v)", c.user, level)
+	}
+	if !needWrite && level < acl.Reader {
+		return fmt.Errorf("%s may not read this database (level %v)", c.user, level)
+	}
+	return nil
+}
+
+func (c *connState) summaries(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	since := nsf.Timestamp(d.U64())
+	formulaSrc := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.replAccess(hs, false); err != nil {
+		return nil, err
+	}
+	peer := &repl.LocalPeer{DB: hs.db}
+	sums, now, err := peer.Summaries(since, formulaSrc)
+	if err != nil {
+		return nil, err
+	}
+	resp := wire.NewResp(wire.OpSummaries, wire.StatusOK).U64(uint64(now)).U32(uint32(len(sums)))
+	for _, s := range sums {
+		resp.Summary(s)
+	}
+	return resp, nil
+}
+
+func (c *connState) fetch(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	count := int(d.U32())
+	unids := make([]nsf.UNID, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		unids = append(unids, d.UNID())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.replAccess(hs, false); err != nil {
+		return nil, err
+	}
+	peer := &repl.LocalPeer{DB: hs.db}
+	notes, err := peer.Fetch(unids)
+	if err != nil {
+		return nil, err
+	}
+	resp := wire.NewResp(wire.OpFetch, wire.StatusOK).U32(uint32(len(notes)))
+	for _, n := range notes {
+		resp.Note(n)
+	}
+	return resp, nil
+}
+
+func (c *connState) apply(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	count := int(d.U32())
+	notes := make([]*nsf.Note, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		notes = append(notes, d.Note())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.replAccess(hs, true); err != nil {
+		return nil, err
+	}
+	peer := &repl.LocalPeer{DB: hs.db, Opts: repl.ApplyOptions{FieldMerge: c.s.opts.FieldMerge}}
+	stats, err := peer.Apply(notes)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpApply, wire.StatusOK).ApplyStats(stats), nil
+}
+
+func (c *connState) dbInfo(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	stats := hs.db.Stats()
+	views := hs.db.ViewNames()
+	resp := wire.NewResp(wire.OpDBInfo, wire.StatusOK).
+		Str(hs.db.Title()).
+		U32(uint32(stats.Notes)).
+		U32(uint32(stats.Pages)).
+		U32(uint32(len(views)))
+	for _, v := range views {
+		resp.Str(v)
+	}
+	return resp, nil
+}
+
+func (c *connState) mailDeposit(d *wire.Dec) (*wire.Enc, error) {
+	n := d.Note()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.s.router.Deposit(n); err != nil {
+		return nil, err
+	}
+	return wire.NewResp(wire.OpMailDeposit, wire.StatusOK), nil
+}

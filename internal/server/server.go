@@ -1,0 +1,294 @@
+// Package server implements the Domino server: a data directory of NSF
+// databases exposed over the wire protocol, with authentication against
+// the directory and background router and replicator tasks.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+	"repro/internal/router"
+	"repro/internal/wire"
+)
+
+// Options configure a server.
+type Options struct {
+	// Name is the server's name, e.g. "hub". It should exist in the
+	// directory (with a secret) so peers can authenticate to it and mail
+	// can address it.
+	Name string
+	// DataDir is the directory holding the server's databases.
+	DataDir string
+	// Directory is the shared user/group registry.
+	Directory *dir.Directory
+	// Clock supplies time; nil uses the wall clock.
+	Clock *clock.Clock
+	// FieldMerge enables field-level conflict merging for replication
+	// applies on this server.
+	FieldMerge bool
+	// Peers maps remote server names to their addresses for mail
+	// forwarding.
+	Peers map[string]string
+	// PeerSecret authenticates this server to its peers (looked up in
+	// their directories under Name).
+	PeerSecret string
+}
+
+// Server is a running Domino-style server.
+type Server struct {
+	opts  Options
+	clock *clock.Clock
+
+	mu      sync.Mutex
+	dbs     map[string]*core.Database
+	cluster []*clusterPusher
+	conns   map[net.Conn]struct{}
+
+	router *router.Router
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New creates a server, its data directory, and its mail.box.
+func New(opts Options) (*Server, error) {
+	if opts.Directory == nil {
+		return nil, errors.New("server: a directory is required")
+	}
+	ck := opts.Clock
+	if ck == nil {
+		ck = clock.New()
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	s := &Server{
+		opts:  opts,
+		clock: ck,
+		dbs:   make(map[string]*core.Database),
+		conns: make(map[net.Conn]struct{}),
+	}
+	mailbox, err := s.OpenDB("mail.box", core.Options{Title: "Mail Router Box"})
+	if err != nil {
+		return nil, err
+	}
+	s.router = &router.Router{
+		ServerName:   opts.Name,
+		Mailbox:      mailbox,
+		Directory:    opts.Directory,
+		OpenMailFile: func(path string) (*core.Database, error) { return s.OpenDB(path, core.Options{Title: path}) },
+		Forward:      s.forwardMail,
+	}
+	return s, nil
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.opts.Name }
+
+// SetPeers replaces the peer address map (server name -> address). Useful
+// when peer addresses are only known after the peers have started.
+func (s *Server) SetPeers(peers map[string]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]string, len(peers))
+	for name, addr := range peers {
+		m[strings.ToLower(name)] = addr
+	}
+	s.opts.Peers = m
+}
+
+// Clock returns the server clock.
+func (s *Server) Clock() *clock.Clock { return s.clock }
+
+// Router returns the mail router.
+func (s *Server) Router() *router.Router { return s.router }
+
+// cleanDBPath normalizes and validates a database path within the data dir.
+func cleanDBPath(path string) (string, error) {
+	p := filepath.ToSlash(filepath.Clean(path))
+	if p == "." || p == "" || strings.HasPrefix(p, "../") || strings.HasPrefix(p, "/") {
+		return "", fmt.Errorf("server: invalid database path %q", path)
+	}
+	return p, nil
+}
+
+// OpenDB opens (or creates) a database by data-directory-relative path.
+// Databases stay open for the life of the server.
+func (s *Server) OpenDB(path string, opts core.Options) (*core.Database, error) {
+	key, err := cleanDBPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if db, ok := s.dbs[key]; ok {
+		return db, nil
+	}
+	full := filepath.Join(s.opts.DataDir, filepath.FromSlash(key))
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return nil, err
+	}
+	opts.Directory = s.opts.Directory
+	opts.Clock = s.clock
+	db, err := core.Open(full, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.dbs[key] = db
+	clustered := len(s.cluster) > 0
+	s.mu.Unlock()
+	if clustered {
+		s.hookClusterDB(key, db)
+	}
+	s.mu.Lock()
+	return db, nil
+}
+
+// DB returns an already-open database.
+func (s *Server) DB(path string) (*core.Database, bool) {
+	key, err := cleanDBPath(path)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.dbs[key]
+	return db, ok
+}
+
+// forwardMail ships a message to a peer server's mail.box over the wire.
+func (s *Server) forwardMail(serverName string, msg *nsf.Note) error {
+	s.mu.Lock()
+	addr, ok := s.opts.Peers[strings.ToLower(serverName)]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no address for peer %s", serverName)
+	}
+	c, err := wire.Dial(addr, s.opts.Name, s.opts.PeerSecret)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.MailDeposit(msg)
+}
+
+// ReplicateWith replicates a local database against the same-path database
+// on a peer server over the wire.
+func (s *Server) ReplicateWith(peerName, addr, dbPath string, opts repl.Options) (repl.Stats, error) {
+	db, err := s.OpenDB(dbPath, core.Options{})
+	if err != nil {
+		return repl.Stats{}, err
+	}
+	c, err := wire.Dial(addr, s.opts.Name, s.opts.PeerSecret)
+	if err != nil {
+		return repl.Stats{}, err
+	}
+	defer c.Close()
+	remote, err := c.OpenDB(dbPath)
+	if err != nil {
+		return repl.Stats{}, err
+	}
+	if opts.PeerName == "" {
+		opts.PeerName = peerName + "!!" + dbPath
+	}
+	opts.Apply.FieldMerge = s.opts.FieldMerge
+	stats, err := repl.Replicate(db, remote, opts)
+	if err != nil {
+		s.logf(LogReplication, "%s with %s failed: %v", dbPath, peerName, err)
+		return stats, err
+	}
+	if stats.Pull.Total()+stats.Push.Total() > 0 {
+		s.logf(LogReplication, "%s with %s: %s", dbPath, peerName, stats)
+	}
+	return stats, nil
+}
+
+// Start begins serving on addr (use "127.0.0.1:0" for tests) and returns
+// the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes all databases.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Drop live client connections so their handler goroutines unblock;
+	// clients see a closed connection, as with any server restart.
+	for _, c := range conns {
+		c.Close()
+	}
+	s.stopCluster()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, db := range s.dbs {
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nsf"
+)
+
+// The server log (log.nsf): Domino records sessions, replication runs, and
+// routing activity as documents in a log database, browsable like any
+// other database. Logging is best-effort: a failing log write never fails
+// the operation being logged.
+
+// LogPath is the log database's path in the data directory.
+const LogPath = "log.nsf"
+
+// Log event kinds.
+const (
+	LogSession     = "session"
+	LogReplication = "replication"
+	LogRouting     = "routing"
+	LogAdmin       = "admin"
+)
+
+// LogEvent appends an event document to log.nsf. Items beyond the standard
+// Form/Kind/Text/Time fields can be supplied via extra (name -> text).
+func (s *Server) LogEvent(kind, text string, extra map[string]string) {
+	logDB, err := s.OpenDB(LogPath, core.Options{Title: "Server Log"})
+	if err != nil {
+		return // never let logging break the server
+	}
+	n := nsf.NewNote(nsf.ClassDocument)
+	now := s.clock.Now()
+	n.OID.Seq = 1
+	n.OID.SeqTime = now
+	n.Created = now
+	n.SetWithFlags("Form", nsf.TextValue("LogEvent"), nsf.FlagSummary)
+	n.SetWithFlags("Kind", nsf.TextValue(kind), nsf.FlagSummary)
+	n.SetWithFlags("Server", nsf.TextValue(s.opts.Name), nsf.FlagSummary)
+	n.SetWithFlags("Text", nsf.TextValue(text), nsf.FlagSummary)
+	n.SetTime("Time", now)
+	for k, v := range extra {
+		n.SetText(k, v)
+	}
+	_ = logDB.RawPut(n)
+}
+
+// PurgeLog removes log events older than cutoff, returning how many were
+// dropped (hard deletes — log entries do not leave stubs).
+func (s *Server) PurgeLog(cutoff nsf.Timestamp) (int, error) {
+	logDB, err := s.OpenDB(LogPath, core.Options{Title: "Server Log"})
+	if err != nil {
+		return 0, err
+	}
+	var victims []nsf.UNID
+	err = logDB.ScanAll(func(n *nsf.Note) bool {
+		if n.Class == nsf.ClassDocument && !n.IsStub() &&
+			n.Text("Form") == "LogEvent" && n.Time("Time") < cutoff {
+			victims = append(victims, n.OID.UNID)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, u := range victims {
+		if err := logDB.RawDelete(u); err != nil {
+			return 0, err
+		}
+	}
+	return len(victims), nil
+}
+
+// logf formats and records an event.
+func (s *Server) logf(kind, format string, args ...any) {
+	s.LogEvent(kind, fmt.Sprintf(format, args...), nil)
+}

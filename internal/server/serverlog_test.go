@@ -1,0 +1,110 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+	"repro/internal/wire"
+)
+
+func logTexts(t *testing.T, s *Server, kind string) []string {
+	t.Helper()
+	logDB, ok := s.DB(LogPath)
+	if !ok {
+		return nil
+	}
+	var out []string
+	logDB.ScanAll(func(n *nsf.Note) bool {
+		if n.Text("Form") == "LogEvent" && (kind == "" || n.Text("Kind") == kind) {
+			out = append(out, n.Text("Text"))
+		}
+		return true
+	})
+	return out
+}
+
+func TestSessionLogging(t *testing.T) {
+	tn := newTestNet(t)
+	c, err := wire.Dial(tn.hubAddr, "ada", "ada-pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := wire.Dial(tn.hubAddr, "ada", "wrong"); err == nil {
+		t.Fatal("bad login accepted")
+	}
+	events := logTexts(t, tn.hub, LogSession)
+	var sawOK, sawFail bool
+	for _, e := range events {
+		if strings.Contains(e, "ada authenticated") {
+			sawOK = true
+		}
+		if strings.Contains(e, "failed authentication") {
+			sawFail = true
+		}
+	}
+	if !sawOK || !sawFail {
+		t.Errorf("session log events = %v", events)
+	}
+}
+
+func TestReplicationLogging(t *testing.T) {
+	tn := newTestNet(t)
+	replica := nsf.NewReplicaID()
+	hubDB, _ := tn.hub.OpenDB("apps/logged.nsf", core.Options{ReplicaID: replica})
+	spokeDB, _ := tn.spoke.OpenDB("apps/logged.nsf", core.Options{ReplicaID: replica})
+	hubDB.ACL().Set("spoke", 4)
+	spokeDB.ACL().Set("hub", 4)
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Subject", "to be logged")
+	if err := hubDB.Session("admin").Create(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.hub.ReplicateWith("spoke", tn.spokeAddr, "apps/logged.nsf", repl.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	events := logTexts(t, tn.hub, LogReplication)
+	if len(events) == 0 {
+		t.Fatal("no replication log events")
+	}
+	if !strings.Contains(events[0], "apps/logged.nsf") {
+		t.Errorf("replication event = %q", events[0])
+	}
+}
+
+func TestPurgeLog(t *testing.T) {
+	tn := newTestNet(t)
+	tn.hub.LogEvent(LogAdmin, "old event", nil)
+	cutoff := tn.hub.Clock().Now()
+	tn.hub.LogEvent(LogAdmin, "new event", nil)
+	purged, err := tn.hub.PurgeLog(cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purged != 1 {
+		t.Errorf("purged %d, want 1", purged)
+	}
+	events := logTexts(t, tn.hub, LogAdmin)
+	if len(events) != 1 || events[0] != "new event" {
+		t.Errorf("remaining = %v", events)
+	}
+}
+
+func TestLogEventExtraItems(t *testing.T) {
+	tn := newTestNet(t)
+	tn.hub.LogEvent(LogRouting, "delivered", map[string]string{"Recipient": "ada"})
+	logDB, _ := tn.hub.DB(LogPath)
+	found := false
+	logDB.ScanAll(func(n *nsf.Note) bool {
+		if n.Text("Kind") == LogRouting && n.Text("Recipient") == "ada" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("extra item not recorded")
+	}
+}

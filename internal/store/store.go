@@ -1,0 +1,515 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/nsf"
+)
+
+// ErrNotFound is returned when a requested note does not exist.
+var ErrNotFound = errors.New("store: note not found")
+
+// ErrQuotaExceeded is returned when a write would grow the database past
+// its configured quota.
+var ErrQuotaExceeded = errors.New("store: database quota exceeded")
+
+// Options configure a Store.
+type Options struct {
+	// ReplicaID identifies the replica when creating a new database. If
+	// zero, a random one is generated.
+	ReplicaID nsf.ReplicaID
+	// Title is the human-readable database title (creation only).
+	Title string
+	// Created stamps the database creation time (creation only).
+	Created nsf.Timestamp
+	// SyncWAL fsyncs the WAL on every operation. Off by default: the WAL is
+	// still written per operation, so only an OS crash (not a process
+	// crash) can lose the tail.
+	SyncWAL bool
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// logged operations. Zero means the default (8192); negative disables
+	// automatic checkpoints.
+	CheckpointEvery int
+	// CacheCap bounds the buffer pool in pages (0 = default).
+	CacheCap int
+	// QuotaBytes caps the database file size; writes that would grow the
+	// file past the quota fail with ErrQuotaExceeded (reads, deletes, and
+	// in-place updates that do not grow the file still work). Zero means
+	// unlimited.
+	QuotaBytes int64
+}
+
+// Store is a persistent note store: the storage half of an NSF database.
+// All methods are safe for concurrent use; operations are serialized by a
+// single mutex, mirroring Domino's per-database update semaphore.
+type Store struct {
+	mu              sync.Mutex
+	path            string
+	pg              *pager
+	wal             *wal
+	heap            *heap
+	byID            *btree // NoteID (4B BE)            -> RecordID (8B)
+	byUNID          *btree // UNID (16B)                -> NoteID (4B BE)
+	byMod           *btree // Modified (8B BE) + NoteID -> nil
+	opts            Options
+	count           int // live notes (including stubs)
+	sinceCheckpoint int
+	closed          bool
+}
+
+// Open opens or creates the database at path (page file) with a companion
+// WAL at path+".wal", and runs crash recovery.
+func Open(path string, opts Options) (*Store, error) {
+	replica := opts.ReplicaID
+	if replica.IsZero() {
+		replica = nsf.NewReplicaID()
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 8192
+	}
+	pg, err := openPager(path, replica, opts.Title, opts.Created, opts.CacheCap)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(path + ".wal")
+	if err != nil {
+		pg.close()
+		return nil, err
+	}
+	s := &Store{path: path, pg: pg, wal: w, heap: newHeap(pg), opts: opts}
+	s.byID = &btree{pg: pg, slot: rootSlotByID}
+	s.byUNID = &btree{pg: pg, slot: rootSlotByUNID}
+	s.byMod = &btree{pg: pg, slot: rootSlotByMod}
+	if err := s.recover(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover rebuilds in-memory state from the checkpointed page file and
+// replays the WAL through the ordinary update paths.
+func (s *Store) recover() error {
+	if err := s.heap.rebuild(); err != nil {
+		return err
+	}
+	n, err := s.byID.Len()
+	if err != nil {
+		return err
+	}
+	s.count = n
+	replayed := 0
+	err = s.wal.replay(func(rec walRecord) error {
+		replayed++
+		switch rec.Kind {
+		case walPut:
+			note, err := nsf.DecodeNote(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("store: replay put: %w", err)
+			}
+			return s.applyPut(note)
+		case walDelete:
+			if len(rec.Payload) != 16 {
+				return fmt.Errorf("store: replay delete: payload length %d", len(rec.Payload))
+			}
+			var unid nsf.UNID
+			copy(unid[:], rec.Payload)
+			if err := s.applyDelete(unid); err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			return nil
+		default:
+			return fmt.Errorf("store: replay: unknown record kind %d", rec.Kind)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if replayed > 0 {
+		// Fold the replayed tail into a fresh checkpoint so the WAL shrinks
+		// and a second crash replays nothing twice.
+		if err := s.pg.flush(); err != nil {
+			return err
+		}
+		if err := s.wal.reset(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Path returns the page file path the store was opened with.
+func (s *Store) Path() string { return s.path }
+
+// Exists reports whether a note with the given UNID is stored, without
+// loading it.
+func (s *Store) Exists(unid nsf.UNID) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok, err := s.byUNID.Get(unid[:])
+	return ok, err
+}
+
+// ReplicaID returns the database's replica identity.
+func (s *Store) ReplicaID() nsf.ReplicaID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pg.replicaID
+}
+
+// Title returns the database title.
+func (s *Store) Title() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pg.title
+}
+
+// Created returns the database creation timestamp.
+func (s *Store) Created() nsf.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pg.created
+}
+
+// Count returns the number of stored notes, deletion stubs included.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func idKey(id nsf.NoteID) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], uint32(id))
+	return k[:]
+}
+
+func modKey(t nsf.Timestamp, id nsf.NoteID) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint64(k[:], uint64(t))
+	binary.BigEndian.PutUint32(k[8:], uint32(id))
+	return k[:]
+}
+
+// Put stores a note (insert or update, keyed by UNID), assigning a NoteID
+// when the note is new. The note's Modified timestamp indexes it for
+// replication scans; callers (internal/core) maintain OID versioning.
+func (s *Store) Put(n *nsf.Note) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if n.OID.UNID.IsZero() {
+		return errors.New("store: note has zero UNID")
+	}
+	if n.ID == 0 {
+		// Reuse the NoteID if this UNID already exists; otherwise allocate.
+		if v, ok, err := s.byUNID.Get(n.OID.UNID[:]); err != nil {
+			return err
+		} else if ok {
+			n.ID = nsf.NoteID(binary.BigEndian.Uint32(v))
+		} else {
+			n.ID = nsf.NoteID(s.pg.nextNoteID)
+			s.pg.nextNoteID++
+			s.pg.hdrDirty = true
+		}
+	}
+	enc := nsf.EncodeNote(n)
+	// Quota check against the projected file size: current pages plus a
+	// worst-case estimate for this note's records and index growth.
+	// Deletion stubs are exempt — deleting must always be possible at
+	// quota, since it is how users make room.
+	if q := s.opts.QuotaBytes; q > 0 && !n.IsStub() {
+		projected := int64(s.pg.pageCount)*PageSize + int64(len(enc)) + 4*PageSize
+		if projected > q {
+			return fmt.Errorf("%w: file would reach %d bytes (quota %d)", ErrQuotaExceeded, projected, q)
+		}
+	}
+	if err := s.wal.append(walPut, enc, s.opts.SyncWAL); err != nil {
+		return err
+	}
+	if err := s.applyPutEncoded(n, enc); err != nil {
+		return err
+	}
+	return s.maybeCheckpoint()
+}
+
+// applyPut applies a decoded note (WAL replay path).
+func (s *Store) applyPut(n *nsf.Note) error {
+	return s.applyPutEncoded(n, nsf.EncodeNote(n))
+}
+
+func (s *Store) applyPutEncoded(n *nsf.Note, enc []byte) error {
+	if uint32(n.ID) >= s.pg.nextNoteID {
+		s.pg.nextNoteID = uint32(n.ID) + 1
+		s.pg.hdrDirty = true
+	}
+	// Remove the previous version, if any.
+	if v, ok, err := s.byID.Get(idKey(n.ID)); err != nil {
+		return err
+	} else if ok {
+		oldRID := RecordID(binary.BigEndian.Uint64(v))
+		oldEnc, err := s.heap.get(oldRID)
+		if err != nil {
+			return err
+		}
+		old, err := nsf.DecodeNote(oldEnc)
+		if err != nil {
+			return err
+		}
+		if _, err := s.byMod.Delete(modKey(old.Modified, old.ID)); err != nil {
+			return err
+		}
+		if err := s.heap.delete(oldRID); err != nil {
+			return err
+		}
+		s.count--
+	}
+	rid, err := s.heap.insert(enc)
+	if err != nil {
+		return err
+	}
+	var ridBuf [8]byte
+	binary.BigEndian.PutUint64(ridBuf[:], uint64(rid))
+	if err := s.byID.Put(idKey(n.ID), ridBuf[:]); err != nil {
+		return err
+	}
+	var idBuf [4]byte
+	binary.BigEndian.PutUint32(idBuf[:], uint32(n.ID))
+	if err := s.byUNID.Put(n.OID.UNID[:], idBuf[:]); err != nil {
+		return err
+	}
+	if err := s.byMod.Put(modKey(n.Modified, n.ID), nil); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Delete removes a note physically (hard delete). Logical deletion —
+// replacing a note with a deletion stub so the delete replicates — is the
+// job of internal/core; the storage engine only ever hard-deletes, e.g.
+// when purging stubs past the cutoff.
+func (s *Store) Delete(unid nsf.UNID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if err := s.wal.append(walDelete, unid[:], s.opts.SyncWAL); err != nil {
+		return err
+	}
+	if err := s.applyDelete(unid); err != nil {
+		return err
+	}
+	return s.maybeCheckpoint()
+}
+
+func (s *Store) applyDelete(unid nsf.UNID) error {
+	v, ok, err := s.byUNID.Get(unid[:])
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrNotFound
+	}
+	id := nsf.NoteID(binary.BigEndian.Uint32(v))
+	rv, ok, err := s.byID.Get(idKey(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("store: index inconsistency: UNID %s maps to missing NoteID %d", unid, id)
+	}
+	rid := RecordID(binary.BigEndian.Uint64(rv))
+	enc, err := s.heap.get(rid)
+	if err != nil {
+		return err
+	}
+	old, err := nsf.DecodeNote(enc)
+	if err != nil {
+		return err
+	}
+	if _, err := s.byMod.Delete(modKey(old.Modified, id)); err != nil {
+		return err
+	}
+	if _, err := s.byID.Delete(idKey(id)); err != nil {
+		return err
+	}
+	if _, err := s.byUNID.Delete(unid[:]); err != nil {
+		return err
+	}
+	if err := s.heap.delete(rid); err != nil {
+		return err
+	}
+	s.count--
+	return nil
+}
+
+// GetByUNID returns the note with the given UNID.
+func (s *Store) GetByUNID(unid nsf.UNID) (*nsf.Note, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok, err := s.byUNID.Get(unid[:])
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.getByIDLocked(nsf.NoteID(binary.BigEndian.Uint32(v)))
+}
+
+// GetByID returns the note with the given per-replica NoteID.
+func (s *Store) GetByID(id nsf.NoteID) (*nsf.Note, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getByIDLocked(id)
+}
+
+func (s *Store) getByIDLocked(id nsf.NoteID) (*nsf.Note, error) {
+	v, ok, err := s.byID.Get(idKey(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	enc, err := s.heap.get(RecordID(binary.BigEndian.Uint64(v)))
+	if err != nil {
+		return nil, err
+	}
+	return nsf.DecodeNote(enc)
+}
+
+// ScanModifiedSince calls fn for every note with Modified > since, in
+// ascending modification order, until fn returns false. This is the scan
+// the replicator uses to find a delta.
+func (s *Store) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := modKey(since, 0xFFFFFFFF) // strictly after all ids at `since`
+	// Collect IDs first: the callback must not re-enter the btree mid-scan
+	// with interleaved heap reads mutating the pool — reads are safe, but
+	// collecting keeps the iteration logic simple and snapshot-like.
+	var ids []nsf.NoteID
+	err := s.byMod.Ascend(from, func(k, _ []byte) bool {
+		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k[8:])))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		n, err := s.getByIDLocked(id)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		if !fn(n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanAll calls fn for every note in NoteID order until fn returns false.
+func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []nsf.NoteID
+	err := s.byID.Ascend(nil, func(k, _ []byte) bool {
+		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k)))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		n, err := s.getByIDLocked(id)
+		if err != nil {
+			return err
+		}
+		if !fn(n) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// maybeCheckpoint checkpoints when the configured operation budget since the
+// last checkpoint is exhausted.
+func (s *Store) maybeCheckpoint() error {
+	s.sinceCheckpoint++
+	if s.opts.CheckpointEvery < 0 || s.sinceCheckpoint < s.opts.CheckpointEvery {
+		return nil
+	}
+	return s.checkpointLocked()
+}
+
+// Checkpoint flushes all dirty pages and truncates the WAL.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if err := s.pg.flush(); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.sinceCheckpoint = 0
+	return nil
+}
+
+// Stats reports storage statistics.
+type Stats struct {
+	Notes      int
+	Pages      int
+	DirtyPages int
+	WALBytes   int64
+}
+
+// Stats returns current storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Notes:      s.count,
+		Pages:      int(s.pg.pageCount),
+		DirtyPages: s.pg.dirtyCount(),
+		WALBytes:   s.wal.size,
+	}
+}
+
+// Close checkpoints and releases the underlying files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.checkpointLocked()
+	if cerr := s.closeFiles(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Store) closeFiles() error {
+	err := s.pg.close()
+	if werr := s.wal.close(); err == nil {
+		err = werr
+	}
+	return err
+}

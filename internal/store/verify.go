@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/nsf"
+)
+
+// Verify checks the cross-consistency of the storage structures — the
+// byID, byUNID, and byMod B+trees and the record heap — and returns a
+// description of every problem found (empty means healthy). It is the
+// equivalent of Domino's "fixup" in detect-only mode.
+func (s *Store) Verify() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var problems []string
+	report := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Pass 1: every byID entry resolves to a decodable heap record whose
+	// note agrees on the NoteID, and whose UNID maps back to it.
+	type noteInfo struct {
+		unid     nsf.UNID
+		modified nsf.Timestamp
+	}
+	byID := make(map[nsf.NoteID]noteInfo)
+	err := s.byID.Ascend(nil, func(k, v []byte) bool {
+		id := nsf.NoteID(binary.BigEndian.Uint32(k))
+		rid := RecordID(binary.BigEndian.Uint64(v))
+		enc, err := s.heap.get(rid)
+		if err != nil {
+			report("note %d: heap record %x unreadable: %v", id, rid, err)
+			return true
+		}
+		n, err := nsf.DecodeNote(enc)
+		if err != nil {
+			report("note %d: record does not decode: %v", id, err)
+			return true
+		}
+		if n.ID != id {
+			report("note %d: record carries NoteID %d", id, n.ID)
+		}
+		byID[id] = noteInfo{unid: n.OID.UNID, modified: n.Modified}
+		return true
+	})
+	if err != nil {
+		report("byID scan failed: %v", err)
+	}
+	if len(byID) != s.count {
+		report("note count %d disagrees with byID entries %d", s.count, len(byID))
+	}
+
+	// Pass 2: byUNID is a bijection onto byID.
+	unidSeen := 0
+	err = s.byUNID.Ascend(nil, func(k, v []byte) bool {
+		unidSeen++
+		var unid nsf.UNID
+		copy(unid[:], k)
+		id := nsf.NoteID(binary.BigEndian.Uint32(v))
+		info, ok := byID[id]
+		if !ok {
+			report("UNID %s maps to missing NoteID %d", unid, id)
+			return true
+		}
+		if info.unid != unid {
+			report("UNID %s maps to NoteID %d whose note has UNID %s", unid, id, info.unid)
+		}
+		return true
+	})
+	if err != nil {
+		report("byUNID scan failed: %v", err)
+	}
+	if unidSeen != len(byID) {
+		report("byUNID has %d entries, byID has %d", unidSeen, len(byID))
+	}
+
+	// Pass 3: byMod covers every note exactly once with the right stamp.
+	modSeen := make(map[nsf.NoteID]bool, len(byID))
+	err = s.byMod.Ascend(nil, func(k, _ []byte) bool {
+		ts := nsf.Timestamp(binary.BigEndian.Uint64(k))
+		id := nsf.NoteID(binary.BigEndian.Uint32(k[8:]))
+		info, ok := byID[id]
+		if !ok {
+			report("byMod entry (%d, %d) references missing note", ts, id)
+			return true
+		}
+		if info.modified != ts {
+			report("byMod entry for note %d has stamp %d, note says %d", id, ts, info.modified)
+		}
+		if modSeen[id] {
+			report("note %d appears twice in byMod", id)
+		}
+		modSeen[id] = true
+		return true
+	})
+	if err != nil {
+		report("byMod scan failed: %v", err)
+	}
+	for id := range byID {
+		if !modSeen[id] {
+			report("note %d missing from byMod", id)
+		}
+	}
+	return problems
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record kinds.
+const (
+	walPut    = 1 // payload: encoded note
+	walDelete = 2 // payload: 16-byte UNID
+)
+
+// walRecord is one logical operation in the log.
+type walRecord struct {
+	Kind    byte
+	Payload []byte
+}
+
+// wal is an append-only log of note-level operations since the last
+// checkpoint. Each record is framed as:
+//
+//	length  uint32  (kind + payload)
+//	crc32   uint32  (castagnoli, over kind + payload)
+//	kind    byte
+//	payload bytes
+//
+// Replay stops at the first torn or corrupt record, which by write ordering
+// can only be the tail.
+type wal struct {
+	f    *os.File
+	size int64
+	buf  []byte
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	return &wal{f: f, size: info.Size()}, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// append writes one record at the current tail. If sync is true the log is
+// fsynced before returning, making the operation durable.
+func (w *wal) append(kind byte, payload []byte, sync bool) error {
+	need := 8 + 1 + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need*2)
+	}
+	buf := w.buf[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(payload)))
+	crc := crc32.Checksum([]byte{kind}, crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, kind)
+	buf = append(buf, payload...)
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return fmt.Errorf("store: append wal: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.buf = buf
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// replay invokes fn for every intact record from the start of the log. A
+// torn tail (truncated or CRC-mismatched final record) ends replay without
+// error; any earlier corruption is also treated as a torn tail because
+// records are written strictly in order.
+func (w *wal) replay(fn func(rec walRecord) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek wal: %w", err)
+	}
+	r := io.NewSectionReader(w.f, 0, w.size)
+	var hdr [8]byte
+	offset := int64(0)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return fmt.Errorf("store: read wal header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length == 0 || int64(length) > w.size-offset-8 {
+			break // torn tail
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return fmt.Errorf("store: read wal body: %w", err)
+		}
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			break // torn tail
+		}
+		if err := fn(walRecord{Kind: body[0], Payload: body[1:]}); err != nil {
+			return err
+		}
+		offset += 8 + int64(length)
+	}
+	// Forget any torn tail so subsequent appends start from intact state.
+	if offset != w.size {
+		if err := w.f.Truncate(offset); err != nil {
+			return fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+		w.size = offset
+	}
+	return nil
+}
+
+// reset truncates the log after a checkpoint has made its contents redundant.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync wal: %w", err)
+	}
+	w.size = 0
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }

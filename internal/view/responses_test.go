@@ -1,0 +1,131 @@
+package view
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+// thread builds: topicA <- replyA1 <- replyA1a, topicB <- replyB1.
+func threadFixture(t *testing.T) (*Index, map[string]*nsf.Note) {
+	t.Helper()
+	def := mustDef(t, "threads", "SELECT @All",
+		Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+	def.ShowResponses = true
+	ix := NewIndex(def)
+	notes := make(map[string]*nsf.Note)
+	mk := func(name, subject string, parent *nsf.Note) *nsf.Note {
+		n := doc(map[string]any{"Subject": subject})
+		if parent != nil {
+			n.SetText("$Ref", parent.OID.UNID.String())
+		}
+		if _, err := ix.Update(n, nil); err != nil {
+			t.Fatalf("Update %s: %v", name, err)
+		}
+		notes[name] = n
+		return n
+	}
+	a := mk("topicA", "alpha topic", nil)
+	a1 := mk("replyA1", "re alpha", a)
+	mk("replyA1a", "re re alpha", a1)
+	b := mk("topicB", "beta topic", nil)
+	mk("replyB1", "re beta", b)
+	return ix, notes
+}
+
+func renderRows(rows []Row) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, string(rune('0'+r.Indent))+":"+r.Entry.ColumnText(0))
+	}
+	return out
+}
+
+func TestResponseHierarchy(t *testing.T) {
+	ix, _ := threadFixture(t)
+	got := renderRows(ix.Rows(nil))
+	want := []string{
+		"0:alpha topic",
+		"1:re alpha",
+		"2:re re alpha",
+		"0:beta topic",
+		"1:re beta",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v\nwant  %v", got, want)
+	}
+}
+
+func TestResponseOrphansSurface(t *testing.T) {
+	ix, notes := threadFixture(t)
+	// Remove topicA: its replies must surface at top level, not vanish.
+	ix.Remove(notes["topicA"].OID.UNID)
+	got := renderRows(ix.Rows(nil))
+	want := []string{
+		"0:beta topic",
+		"1:re beta",
+		"0:re alpha",
+		"1:re re alpha",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rows after parent removal = %v\nwant %v", got, want)
+	}
+}
+
+func TestResponseFilteredParent(t *testing.T) {
+	ix, notes := threadFixture(t)
+	// Reader filtering hides topicA; reply must still show (at top level).
+	hidden := notes["topicA"].OID.UNID
+	rows := ix.Rows(func(e *Entry) bool { return e.UNID != hidden })
+	for _, r := range rows {
+		if r.Entry.UNID == hidden {
+			t.Fatal("filtered entry rendered")
+		}
+	}
+	found := false
+	for _, r := range rows {
+		if r.Entry.ColumnText(0) == "re alpha" && r.Indent == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reply did not surface at top level: %v", renderRows(rows))
+	}
+}
+
+func TestResponseCycleDoesNotHang(t *testing.T) {
+	def := mustDef(t, "cyc", "SELECT @All",
+		Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+	def.ShowResponses = true
+	ix := NewIndex(def)
+	a := doc(map[string]any{"Subject": "a"})
+	b := doc(map[string]any{"Subject": "b"})
+	a.SetText("$Ref", b.OID.UNID.String())
+	b.SetText("$Ref", a.OID.UNID.String())
+	ix.Update(a, nil)
+	ix.Update(b, nil)
+	rows := ix.Rows(nil)
+	if len(rows) != 2 {
+		t.Errorf("cycle rendered %d rows, want 2", len(rows))
+	}
+}
+
+func TestSiblingResponsesSortByCollation(t *testing.T) {
+	def := mustDef(t, "sib", "SELECT @All",
+		Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+	def.ShowResponses = true
+	ix := NewIndex(def)
+	topic := doc(map[string]any{"Subject": "topic"})
+	ix.Update(topic, nil)
+	for _, s := range []string{"zz last", "aa first", "mm middle"} {
+		r := doc(map[string]any{"Subject": s})
+		r.SetText("$Ref", topic.OID.UNID.String())
+		ix.Update(r, nil)
+	}
+	got := renderRows(ix.Rows(nil))
+	want := []string{"0:topic", "1:aa first", "1:mm middle", "1:zz last"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("rows = %v", got)
+	}
+}

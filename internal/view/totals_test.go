@@ -1,0 +1,92 @@
+package view
+
+import (
+	"testing"
+)
+
+func totalsFixture(t *testing.T) *Index {
+	t.Helper()
+	def := mustDef(t, "sales", "SELECT @All",
+		Column{Title: "Region", ItemName: "Region", Categorized: true},
+		Column{Title: "Rep", ItemName: "Rep", Sorted: true},
+		Column{Title: "Amount", ItemName: "Amount", Totals: true})
+	ix := NewIndex(def)
+	for _, d := range []struct {
+		region, rep string
+		amount      float64
+	}{
+		{"East", "ada", 100},
+		{"East", "bob", 50},
+		{"West", "carol", 25},
+	} {
+		ix.Update(doc(map[string]any{
+			"Region": d.region, "Rep": d.rep, "Amount": d.amount,
+		}), nil)
+	}
+	return ix
+}
+
+func TestCategoryTotals(t *testing.T) {
+	ix := totalsFixture(t)
+	rows := ix.Rows(nil)
+	// Expect: [East](150), ada, bob, [West](25), carol, grand(175).
+	var catTotals []float64
+	var grand float64
+	seenGrand := false
+	for _, r := range rows {
+		switch {
+		case r.GrandTotal:
+			seenGrand = true
+			grand = r.Totals[2]
+		case r.Entry == nil:
+			catTotals = append(catTotals, r.Totals[2])
+		}
+	}
+	if !seenGrand {
+		t.Fatal("no grand total row")
+	}
+	if len(catTotals) != 2 || catTotals[0] != 150 || catTotals[1] != 25 {
+		t.Errorf("category totals = %v", catTotals)
+	}
+	if grand != 175 {
+		t.Errorf("grand total = %v", grand)
+	}
+}
+
+func TestTotalsRespectFiltering(t *testing.T) {
+	ix := totalsFixture(t)
+	rows := ix.Rows(func(e *Entry) bool { return e.ColumnText(1) != "bob" })
+	for _, r := range rows {
+		if r.GrandTotal && r.Totals[2] != 125 {
+			t.Errorf("filtered grand total = %v", r.Totals[2])
+		}
+		if r.Entry == nil && !r.GrandTotal && r.Category == "East" && r.Totals[2] != 100 {
+			t.Errorf("filtered East total = %v", r.Totals[2])
+		}
+	}
+}
+
+func TestNoTotalsColumnsNoExtraRows(t *testing.T) {
+	def := mustDef(t, "plain", "SELECT @All",
+		Column{Title: "S", ItemName: "S", Sorted: true})
+	ix := NewIndex(def)
+	ix.Update(doc(map[string]any{"S": "x"}), nil)
+	rows := ix.Rows(nil)
+	if len(rows) != 1 || rows[0].Totals != nil {
+		t.Errorf("rows without totals columns = %+v", rows)
+	}
+}
+
+func TestTotalsOnFlatView(t *testing.T) {
+	def := mustDef(t, "flat", "SELECT @All",
+		Column{Title: "N", ItemName: "N", Sorted: true, Totals: true})
+	ix := NewIndex(def)
+	for _, n := range []float64{1, 2, 3} {
+		ix.Update(doc(map[string]any{"N": n}), nil)
+	}
+	rows := ix.Rows(nil)
+	last := rows[len(rows)-1]
+	if !last.GrandTotal || last.Totals[0] != 6 {
+		t.Errorf("flat view grand total = %+v", last)
+	}
+}

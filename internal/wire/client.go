@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ft"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+)
+
+// protocolVersion is negotiated in the hello exchange.
+const protocolVersion = 1
+
+// Client is an authenticated connection to a server. Requests are
+// serialized; one Client supports concurrent callers.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	user string
+}
+
+// Dial connects and authenticates.
+func Dial(addr, user, secret string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, user: user}
+	req := NewEnc(OpHello).U32(protocolVersion).Str(user).Str(secret)
+	if _, err := c.roundTrip(OpHello, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// User returns the authenticated user name.
+func (c *Client) User() string { return c.user }
+
+// roundTrip sends a request and decodes the response envelope, returning a
+// decoder positioned at the response body.
+func (c *Client) roundTrip(op Op, req *Enc) (*Dec, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("wire: short response")
+	}
+	if payload[0] != byte(op)|respBit {
+		return nil, fmt.Errorf("wire: response op %#x does not match request %#x", payload[0], byte(op))
+	}
+	d := NewDec(payload[2:])
+	if payload[1] != StatusOK {
+		msg := d.Str()
+		if d.Err() != nil {
+			msg = "unknown server error"
+		}
+		return nil, fmt.Errorf("wire: server: %s", msg)
+	}
+	return d, nil
+}
+
+// OpenDB opens a database by path on the server, returning a remote handle.
+func (c *Client) OpenDB(path string) (*RemoteDB, error) {
+	d, err := c.roundTrip(OpOpenDB, NewEnc(OpOpenDB).Str(path))
+	if err != nil {
+		return nil, err
+	}
+	handle := d.U32()
+	var replica nsf.ReplicaID
+	copy(replica[:], d.Raw(8))
+	title := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return &RemoteDB{c: c, handle: handle, replica: replica, title: title, path: path}, nil
+}
+
+// MailDeposit drops a mail note into the server's mail.box for routing.
+func (c *Client) MailDeposit(n *nsf.Note) error {
+	_, err := c.roundTrip(OpMailDeposit, NewEnc(OpMailDeposit).Note(n))
+	return err
+}
+
+// RemoteDB is a handle on a database opened over the wire. It implements
+// repl.Peer, so a local replicator can sync against it directly.
+type RemoteDB struct {
+	c       *Client
+	handle  uint32
+	replica nsf.ReplicaID
+	title   string
+	path    string
+}
+
+var _ repl.Peer = (*RemoteDB)(nil)
+
+// Title returns the remote database title.
+func (r *RemoteDB) Title() string { return r.title }
+
+// Path returns the server-side path the database was opened by.
+func (r *RemoteDB) Path() string { return r.path }
+
+// ReplicaID implements repl.Peer.
+func (r *RemoteDB) ReplicaID() (nsf.ReplicaID, error) { return r.replica, nil }
+
+// Get fetches a note with the server enforcing the caller's read access.
+func (r *RemoteDB) Get(unid nsf.UNID) (*nsf.Note, error) {
+	d, err := r.c.roundTrip(OpGetNote, NewEnc(OpGetNote).U32(r.handle).UNID(unid))
+	if err != nil {
+		return nil, err
+	}
+	n := d.Note()
+	return n, d.Err()
+}
+
+// Create stores a new document.
+func (r *RemoteDB) Create(n *nsf.Note) error {
+	d, err := r.c.roundTrip(OpCreateNote, NewEnc(OpCreateNote).U32(r.handle).Note(n))
+	if err != nil {
+		return err
+	}
+	// The server returns the stored note (with assigned IDs and OID).
+	stored := d.Note()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	*n = *stored
+	return nil
+}
+
+// Update stores a modified document.
+func (r *RemoteDB) Update(n *nsf.Note) error {
+	d, err := r.c.roundTrip(OpUpdateNote, NewEnc(OpUpdateNote).U32(r.handle).Note(n))
+	if err != nil {
+		return err
+	}
+	stored := d.Note()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	*n = *stored
+	return nil
+}
+
+// Delete replaces a document with a deletion stub.
+func (r *RemoteDB) Delete(unid nsf.UNID) error {
+	_, err := r.c.roundTrip(OpDeleteNote, NewEnc(OpDeleteNote).U32(r.handle).UNID(unid))
+	return err
+}
+
+// ViewRow is a rendered remote view row.
+type ViewRow struct {
+	Category string
+	Indent   int
+	UNID     nsf.UNID
+	Columns  []string
+}
+
+// ViewRows renders a view server-side with the caller's read filtering.
+func (r *RemoteDB) ViewRows(view string) ([]ViewRow, error) {
+	d, err := r.c.roundTrip(OpViewRows, NewEnc(OpViewRows).U32(r.handle).Str(view))
+	if err != nil {
+		return nil, err
+	}
+	count := int(d.U32())
+	rows := make([]ViewRow, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		var row ViewRow
+		row.Category = d.Str()
+		row.Indent = int(d.U32())
+		row.UNID = d.UNID()
+		cols := int(d.U32())
+		for j := 0; j < cols && d.Err() == nil; j++ {
+			row.Columns = append(row.Columns, d.Str())
+		}
+		rows = append(rows, row)
+	}
+	return rows, d.Err()
+}
+
+// Search runs a full-text query server-side.
+func (r *RemoteDB) Search(query string) ([]ft.Result, error) {
+	d, err := r.c.roundTrip(OpSearch, NewEnc(OpSearch).U32(r.handle).Str(query))
+	if err != nil {
+		return nil, err
+	}
+	count := int(d.U32())
+	out := make([]ft.Result, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		var res ft.Result
+		res.UNID = d.UNID()
+		res.Score = float64(d.U64()) / 1e6
+		out = append(out, res)
+	}
+	return out, d.Err()
+}
+
+// DBInfo describes a remote database.
+type DBInfo struct {
+	Title string
+	Notes int
+	Pages int
+	Views []string
+}
+
+// Info fetches the remote database's statistics and view list.
+func (r *RemoteDB) Info() (DBInfo, error) {
+	d, err := r.c.roundTrip(OpDBInfo, NewEnc(OpDBInfo).U32(r.handle))
+	if err != nil {
+		return DBInfo{}, err
+	}
+	info := DBInfo{
+		Title: d.Str(),
+		Notes: int(d.U32()),
+		Pages: int(d.U32()),
+	}
+	count := int(d.U32())
+	for i := 0; i < count && d.Err() == nil; i++ {
+		info.Views = append(info.Views, d.Str())
+	}
+	return info, d.Err()
+}
+
+// Summaries implements repl.Peer.
+func (r *RemoteDB) Summaries(since nsf.Timestamp, formulaSrc string) ([]repl.Summary, nsf.Timestamp, error) {
+	req := NewEnc(OpSummaries).U32(r.handle).U64(uint64(since)).Str(formulaSrc)
+	d, err := r.c.roundTrip(OpSummaries, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	now := nsf.Timestamp(d.U64())
+	count := int(d.U32())
+	out := make([]repl.Summary, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		out = append(out, d.Summary())
+	}
+	return out, now, d.Err()
+}
+
+// Fetch implements repl.Peer.
+func (r *RemoteDB) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
+	req := NewEnc(OpFetch).U32(r.handle).U32(uint32(len(unids)))
+	for _, u := range unids {
+		req.UNID(u)
+	}
+	d, err := r.c.roundTrip(OpFetch, req)
+	if err != nil {
+		return nil, err
+	}
+	count := int(d.U32())
+	out := make([]*nsf.Note, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		out = append(out, d.Note())
+	}
+	return out, d.Err()
+}
+
+// Apply implements repl.Peer.
+func (r *RemoteDB) Apply(notes []*nsf.Note) (repl.ApplyStats, error) {
+	req := NewEnc(OpApply).U32(r.handle).U32(uint32(len(notes)))
+	for _, n := range notes {
+		req.Note(n)
+	}
+	d, err := r.c.roundTrip(OpApply, req)
+	if err != nil {
+		return repl.ApplyStats{}, err
+	}
+	st := d.ApplyStats()
+	return st, d.Err()
+}

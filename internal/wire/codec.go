@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/nsf"
+	"repro/internal/repl"
+)
+
+// Enc builds a message payload.
+type Enc struct{ buf []byte }
+
+// NewEnc starts a request payload with the given op.
+func NewEnc(op Op) *Enc { return &Enc{buf: []byte{byte(op)}} }
+
+// NewResp starts a response payload for op with a status byte.
+func NewResp(op Op, status byte) *Enc {
+	return &Enc{buf: []byte{byte(op) | respBit, status}}
+}
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends a byte.
+func (e *Enc) U8(v byte) *Enc { e.buf = append(e.buf, v); return e }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) *Enc {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+	return e
+}
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) *Enc {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	return e
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) *Enc {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
+	e.buf = append(e.buf, s...)
+	return e
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) *Enc {
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+// UNID appends a 16-byte UNID.
+func (e *Enc) UNID(u nsf.UNID) *Enc { e.buf = append(e.buf, u[:]...); return e }
+
+// Raw appends bytes without a length prefix (fixed-size fields).
+func (e *Enc) Raw(b []byte) *Enc { e.buf = append(e.buf, b...); return e }
+
+// Note appends an encoded note as a blob.
+func (e *Enc) Note(n *nsf.Note) *Enc { return e.Blob(nsf.EncodeNote(n)) }
+
+// Summary appends a replication summary.
+func (e *Enc) Summary(s repl.Summary) *Enc {
+	e.UNID(s.UNID).U32(s.Seq).U64(uint64(s.SeqTime)).U32(uint32(s.Class))
+	if s.Deleted {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	return e
+}
+
+// ApplyStats appends replication apply statistics.
+func (e *Enc) ApplyStats(s repl.ApplyStats) *Enc {
+	return e.U32(uint32(s.Added)).U32(uint32(s.Updated)).U32(uint32(s.Deleted)).
+		U32(uint32(s.Conflicts)).U32(uint32(s.Merged)).U32(uint32(s.Skipped))
+}
+
+// Dec parses a message payload.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec wraps a payload (after the op/status prefix has been consumed by
+// the caller).
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Err returns the first decoding error.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("truncated message at offset %d", d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (d *Dec) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string { return string(d.Blob()) }
+
+// Blob reads a length-prefixed byte slice (aliasing the payload).
+func (d *Dec) Blob() []byte {
+	if d.err != nil {
+		return nil
+	}
+	n, sz := binary.Uvarint(d.buf[d.off:])
+	if sz <= 0 || n > MaxFrame {
+		d.fail("bad length at offset %d", d.off)
+		return nil
+	}
+	d.off += sz
+	return d.take(int(n))
+}
+
+// UNID reads a 16-byte UNID.
+func (d *Dec) UNID() nsf.UNID {
+	var u nsf.UNID
+	copy(u[:], d.take(16))
+	return u
+}
+
+// Raw reads n bytes without a length prefix.
+func (d *Dec) Raw(n int) []byte { return d.take(n) }
+
+// Note reads an encoded note.
+func (d *Dec) Note() *nsf.Note {
+	b := d.Blob()
+	if d.err != nil {
+		return nil
+	}
+	n, err := nsf.DecodeNote(b)
+	if err != nil {
+		d.fail("bad note: %v", err)
+		return nil
+	}
+	return n
+}
+
+// Summary reads a replication summary.
+func (d *Dec) Summary() repl.Summary {
+	s := repl.Summary{
+		UNID:    d.UNID(),
+		Seq:     d.U32(),
+		SeqTime: nsf.Timestamp(d.U64()),
+		Class:   nsf.NoteClass(d.U32()),
+	}
+	s.Deleted = d.U8() == 1
+	return s
+}
+
+// ApplyStats reads replication apply statistics.
+func (d *Dec) ApplyStats() repl.ApplyStats {
+	return repl.ApplyStats{
+		Added:     int(d.U32()),
+		Updated:   int(d.U32()),
+		Deleted:   int(d.U32()),
+		Conflicts: int(d.U32()),
+		Merged:    int(d.U32()),
+		Skipped:   int(d.U32()),
+	}
+}
+
+// Remaining reports unread bytes.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }

@@ -1,0 +1,76 @@
+// Package wire implements the client/server and server/server protocol: a
+// length-prefixed binary RPC over TCP carrying note CRUD, view reads,
+// full-text queries, mail deposit, and the replication operations
+// (summaries, fetch, apply). It plays the role of Notes RPC (NRPC) without
+// claiming protocol compatibility.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single protocol frame (64 MiB).
+const MaxFrame = 64 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Op codes. A response echoes the request op with the high bit set.
+type Op byte
+
+// Protocol operations.
+const (
+	OpHello Op = iota + 1
+	OpOpenDB
+	OpGetNote
+	OpCreateNote
+	OpUpdateNote
+	OpDeleteNote
+	OpViewRows
+	OpSearch
+	OpReplicaID
+	OpSummaries
+	OpFetch
+	OpApply
+	OpMailDeposit
+	OpDBInfo
+)
+
+// respBit marks response frames.
+const respBit = 0x80
+
+// Status codes in responses.
+const (
+	StatusOK byte = iota
+	StatusError
+)

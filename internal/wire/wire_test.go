@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/nsf"
+	"repro/internal/repl"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		{1},
+		bytes.Repeat([]byte("x"), 100000),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	// A hostile header claiming an enormous frame must be rejected before
+	// allocation.
+	hostile := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile frame header accepted")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("hello world"))
+	raw := buf.Bytes()[:8] // header + partial body
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream error = %v, want EOF", io.EOF)
+	}
+}
+
+func TestCodecScalars(t *testing.T) {
+	e := NewEnc(OpHello)
+	e.U8(7).U32(0xDEADBEEF).U64(1<<62 + 5).Str("héllo").Blob([]byte{1, 2, 3})
+	u := nsf.NewUNID()
+	e.UNID(u).Raw([]byte{9, 9})
+	payload := e.Bytes()
+	if Op(payload[0]) != OpHello {
+		t.Fatalf("op byte = %#x", payload[0])
+	}
+	d := NewDec(payload[1:])
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 1<<62+5 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.Str(); got != "héllo" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Blob(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := d.UNID(); got != u {
+		t.Errorf("UNID = %v", got)
+	}
+	if got := d.Raw(2); !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Errorf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestCodecNoteAndSummary(t *testing.T) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.ID = 12
+	n.OID.Seq = 3
+	n.OID.SeqTime = 999
+	n.SetText("Subject", "wire trip")
+	s := repl.SummaryOf(n)
+	st := repl.ApplyStats{Added: 1, Updated: 2, Deleted: 3, Conflicts: 4, Merged: 5, Skipped: 6}
+
+	e := NewEnc(OpApply).Note(n).Summary(s).ApplyStats(st)
+	d := NewDec(e.Bytes()[1:])
+	gotN := d.Note()
+	gotS := d.Summary()
+	gotSt := d.ApplyStats()
+	if d.Err() != nil {
+		t.Fatalf("decode: %v", d.Err())
+	}
+	if gotN.Text("Subject") != "wire trip" || gotN.OID != n.OID || gotN.ID != n.ID {
+		t.Errorf("note mismatch: %+v", gotN)
+	}
+	if gotS != s {
+		t.Errorf("summary = %+v, want %+v", gotS, s)
+	}
+	if gotSt != st {
+		t.Errorf("stats = %+v, want %+v", gotSt, st)
+	}
+}
+
+func TestDecErrorsStickAndPropagate(t *testing.T) {
+	d := NewDec([]byte{1})
+	_ = d.U32() // too short: sets the error
+	if d.Err() == nil {
+		t.Fatal("short read did not error")
+	}
+	// All subsequent reads return zero values without panicking.
+	if d.U8() != 0 || d.U64() != 0 || d.Str() != "" || d.Blob() != nil || d.Note() != nil {
+		t.Error("reads after error returned data")
+	}
+}
+
+func TestDecRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		d := NewDec(buf)
+		// Exercise every reader; none may panic.
+		d.U8()
+		d.Str()
+		d.Summary()
+		d.Note()
+		d.ApplyStats()
+	}
+}
+
+func TestDecBlobRejectsHugeLength(t *testing.T) {
+	// A uvarint length far beyond the frame cap must error cleanly.
+	e := NewEnc(OpHello)
+	e.buf = append(e.buf, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	d := NewDec(e.Bytes()[1:])
+	if d.Blob() != nil || d.Err() == nil {
+		t.Error("huge blob length accepted")
+	}
+}
+
+func TestStrHandlesLongStrings(t *testing.T) {
+	long := strings.Repeat("a", 1<<16)
+	e := NewEnc(OpHello).Str(long)
+	d := NewDec(e.Bytes()[1:])
+	if got := d.Str(); got != long {
+		t.Errorf("long string corrupted: %d bytes", len(got))
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload generates synthetic groupware corpora and update traces:
+// the stand-in for the proprietary customer mail files and discussion
+// databases the original system was exercised with. Generators are
+// deterministic given a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/nsf"
+)
+
+// vocabulary is the word pool for document bodies; term frequencies follow
+// a Zipf-like distribution via the generator.
+var vocabulary = []string{
+	"meeting", "project", "deadline", "review", "customer", "release",
+	"budget", "server", "replica", "database", "schedule", "report",
+	"quarter", "design", "update", "status", "urgent", "team", "offsite",
+	"contract", "invoice", "shipment", "feedback", "agenda", "minutes",
+	"proposal", "draft", "final", "approved", "pending", "blocked",
+	"escalation", "outage", "maintenance", "migration", "rollout", "training",
+	"workshop", "onboarding", "audit", "compliance", "security", "backup",
+	"archive", "groupware", "workflow", "notes", "domino", "mail", "calendar",
+}
+
+var firstNames = []string{
+	"ada", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+	"ivan", "judy", "ken", "lena", "mallory", "nick", "olivia", "peggy",
+}
+
+var categories = []string{
+	"Sales", "Engineering", "Support", "Marketing", "Finance",
+	"Operations", "Legal", "Research",
+}
+
+// Generator produces synthetic documents and update traces.
+type Generator struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int
+}
+
+// New returns a generator with the given seed.
+func New(seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, 1.3, 1, uint64(len(vocabulary)-1)),
+	}
+}
+
+// word draws a vocabulary word with a Zipf-like frequency distribution.
+func (g *Generator) word() string {
+	return vocabulary[int(g.zipf.Uint64())]
+}
+
+// Author draws an author name (uniform over the name pool).
+func (g *Generator) Author() string {
+	return firstNames[g.rng.Intn(len(firstNames))]
+}
+
+// Category draws a category.
+func (g *Generator) Category() string {
+	return categories[g.rng.Intn(len(categories))]
+}
+
+// Sentence builds a sentence of n words.
+func (g *Generator) Sentence(n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = g.word()
+	}
+	return strings.Join(words, " ")
+}
+
+// Document generates a memo-style document with a body of roughly bodyBytes
+// bytes. Subject, author, and category items carry the summary flag, as a
+// Notes form would mark them.
+func (g *Generator) Document(bodyBytes int) *nsf.Note {
+	g.seq++
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Form", "Memo")
+	n.SetWithFlags("Subject",
+		nsf.TextValue(fmt.Sprintf("%s %s #%d", g.word(), g.word(), g.seq)),
+		nsf.FlagSummary)
+	n.SetWithFlags("From", nsf.TextValue(g.Author()), nsf.FlagSummary|nsf.FlagNames)
+	n.SetWithFlags("Category", nsf.TextValue(g.Category()), nsf.FlagSummary)
+	n.SetNumber("Priority", float64(g.rng.Intn(10)))
+	var body strings.Builder
+	for body.Len() < bodyBytes {
+		body.WriteString(g.Sentence(8 + g.rng.Intn(8)))
+		body.WriteString(". ")
+	}
+	n.SetText("Body", body.String())
+	return n
+}
+
+// Corpus generates count documents with the given body size.
+func (g *Generator) Corpus(count, bodyBytes int) []*nsf.Note {
+	out := make([]*nsf.Note, count)
+	for i := range out {
+		out[i] = g.Document(bodyBytes)
+	}
+	return out
+}
+
+// Thread generates a discussion thread: one topic document and depth
+// response documents chained by $Ref.
+func (g *Generator) Thread(depth, bodyBytes int) []*nsf.Note {
+	out := make([]*nsf.Note, 0, depth+1)
+	topic := g.Document(bodyBytes)
+	topic.SetText("Form", "Topic")
+	out = append(out, topic)
+	parent := topic
+	for i := 0; i < depth; i++ {
+		resp := g.Document(bodyBytes)
+		resp.SetText("Form", "Response")
+		resp.SetWithFlags("$Ref", nsf.TextValue(parent.OID.UNID.String()), nsf.FlagSummary)
+		out = append(out, resp)
+		if g.rng.Intn(2) == 0 {
+			parent = resp // sometimes nest deeper
+		}
+	}
+	return out
+}
+
+// Mutate applies a small random edit to a note (the update trace primitive):
+// it rewrites one of the mutable items.
+func (g *Generator) Mutate(n *nsf.Note) {
+	switch g.rng.Intn(3) {
+	case 0:
+		n.SetText("Body", g.Sentence(30))
+	case 1:
+		n.SetNumber("Priority", float64(g.rng.Intn(10)))
+	default:
+		n.SetWithFlags("Category", nsf.TextValue(g.Category()), nsf.FlagSummary)
+	}
+}
+
+// Queries returns n full-text queries drawn from the vocabulary: a mix of
+// single terms, conjunctions, and phrases.
+func (g *Generator) Queries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		switch g.rng.Intn(3) {
+		case 0:
+			out[i] = g.word()
+		case 1:
+			out[i] = g.word() + " " + g.word()
+		default:
+			out[i] = fmt.Sprintf("%q", g.word()+" "+g.word())
+		}
+	}
+	return out
+}

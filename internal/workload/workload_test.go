@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 50; i++ {
+		da, db := a.Document(500), b.Document(500)
+		if da.Text("Subject") != db.Text("Subject") || da.Text("Body") != db.Text("Body") {
+			t.Fatalf("generators diverged at doc %d", i)
+		}
+	}
+}
+
+func TestDocumentShape(t *testing.T) {
+	g := New(1)
+	n := g.Document(2000)
+	if len(n.Text("Body")) < 2000 {
+		t.Errorf("body only %d bytes", len(n.Text("Body")))
+	}
+	for _, item := range []string{"Form", "Subject", "From", "Category", "Priority"} {
+		if !n.Has(item) {
+			t.Errorf("missing item %s", item)
+		}
+	}
+	subj, _ := n.Item("Subject")
+	if !subj.Flags.Has(nsf.FlagSummary) {
+		t.Error("Subject not summary-flagged")
+	}
+}
+
+func TestCorpusAndThread(t *testing.T) {
+	g := New(2)
+	corpus := g.Corpus(100, 300)
+	if len(corpus) != 100 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+	seen := make(map[nsf.UNID]bool)
+	for _, n := range corpus {
+		if seen[n.OID.UNID] {
+			t.Fatal("duplicate UNID in corpus")
+		}
+		seen[n.OID.UNID] = true
+	}
+	thread := g.Thread(5, 200)
+	if len(thread) != 6 {
+		t.Fatalf("thread size %d", len(thread))
+	}
+	if thread[0].Has("$Ref") {
+		t.Error("topic has $Ref")
+	}
+	for _, resp := range thread[1:] {
+		if !resp.Has("$Ref") {
+			t.Error("response missing $Ref")
+		}
+	}
+}
+
+func TestMutateChangesSomething(t *testing.T) {
+	g := New(3)
+	n := g.Document(300)
+	orig := n.Clone()
+	changedOnce := false
+	for i := 0; i < 10; i++ {
+		g.Mutate(n)
+		if len(n.ChangedItems(orig)) > 0 {
+			changedOnce = true
+			break
+		}
+	}
+	if !changedOnce {
+		t.Error("Mutate never changed the note")
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	g := New(4)
+	qs := g.Queries(20)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q == "" {
+			t.Error("empty query generated")
+		}
+	}
+}
