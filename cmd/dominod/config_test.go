@@ -33,6 +33,7 @@ replicate spoke apps/app.nsf 30s
 route  10s
 cluster spoke
 catalog 5m
+fault  seed=7,sever=0.01,delay=0.1,maxdelay=5ms
 `)
 	cfg, err := parseConfig(path)
 	if err != nil {
@@ -63,6 +64,9 @@ catalog 5m
 	if len(cfg.clusterWith) != 1 || cfg.clusterWith[0] != "spoke" {
 		t.Errorf("cluster = %v", cfg.clusterWith)
 	}
+	if cfg.faultSpec != "seed=7,sever=0.01,delay=0.1,maxdelay=5ms" {
+		t.Errorf("faultSpec = %q", cfg.faultSpec)
+	}
 }
 
 func TestParseConfigErrors(t *testing.T) {
@@ -75,6 +79,9 @@ func TestParseConfigErrors(t *testing.T) {
 		{"group args", "name x\ndata /tmp\ngroup g\n"},
 		{"replicate args", "name x\ndata /tmp\nreplicate spoke db.nsf\n"},
 		{"dup user-group", "name x\ndata /tmp\nuser team pw\ngroup team a\n"},
+		{"fault args", "name x\ndata /tmp\nfault\n"},
+		{"fault bad prob", "name x\ndata /tmp\nfault sever=yes\n"},
+		{"fault unknown key", "name x\ndata /tmp\nfault warp=0.5\n"},
 	}
 	for _, tc := range cases {
 		path := writeConf(t, tc.body)

@@ -22,6 +22,12 @@
 //	cluster spoke                           # event-driven push to this peer
 //	catalog 5m                              # catalog refresh interval
 //	agent  apps/tickets.nsf escalate 1m     # run a stored agent on a schedule
+//	fault  seed=7,sever=0.01,delay=0.1,maxdelay=5ms   # inject network faults
+//
+// The fault directive (or the -fault flag, which overrides it) wraps the
+// listener in a seeded fault injector — connections randomly dropped,
+// delayed, truncated, or severed — for soak-testing replication and
+// client retry behavior against an unreliable network.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	domino "repro"
+	"repro/internal/faultnet"
 	"repro/internal/repl"
 )
 
@@ -58,6 +66,7 @@ type config struct {
 	clusterWith []string
 	catalogTick time.Duration
 	agents      []agentJob
+	faultSpec   string
 }
 
 type agentJob struct {
@@ -178,6 +187,14 @@ func parseConfig(path string) (*config, error) {
 				return nil, bad(err.Error())
 			}
 			cfg.catalogTick = d
+		case "fault":
+			if len(fields) != 2 {
+				return nil, bad("fault wants 1 argument")
+			}
+			if _, err := faultnet.ParsePlan(fields[1]); err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.faultSpec = fields[1]
 		case "agent":
 			if len(fields) != 4 {
 				return nil, bad("agent wants 3 arguments")
@@ -202,6 +219,8 @@ func parseConfig(path string) (*config, error) {
 
 func main() {
 	configPath := flag.String("config", "server.conf", "configuration file")
+	faultSpec := flag.String("fault", "",
+		"network fault plan, e.g. seed=7,sever=0.01,delay=0.1,maxdelay=5ms (overrides config)")
 	flag.Parse()
 	cfg, err := parseConfig(*configPath)
 	if err != nil {
@@ -223,9 +242,27 @@ func main() {
 		}
 		log.Printf("opened database %s", pre[0])
 	}
-	addr, err := srv.Start(cfg.listen)
-	if err != nil {
-		log.Fatalf("dominod: listen: %v", err)
+	spec := cfg.faultSpec
+	if *faultSpec != "" {
+		spec = *faultSpec
+	}
+	var addr string
+	if spec != "" {
+		plan, err := faultnet.ParsePlan(spec)
+		if err != nil {
+			log.Fatalf("dominod: fault plan: %v", err)
+		}
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			log.Fatalf("dominod: listen: %v", err)
+		}
+		addr = srv.Serve(faultnet.New(plan).Listener(ln))
+		log.Printf("FAULT INJECTION ACTIVE: %s", spec)
+	} else {
+		addr, err = srv.Start(cfg.listen)
+		if err != nil {
+			log.Fatalf("dominod: listen: %v", err)
+		}
 	}
 	log.Printf("server %q serving %s on %s", cfg.name, cfg.data, addr)
 	if len(cfg.clusterWith) > 0 {

@@ -198,6 +198,8 @@ type (
 	ServerOptions = server.Options
 	// Client is an authenticated wire connection.
 	Client = wire.Client
+	// ClientOptions tune client timeouts, retries, and backoff.
+	ClientOptions = wire.Options
 	// RemoteDB is a database opened over the wire; it implements Peer.
 	RemoteDB = wire.RemoteDB
 	// Router moves mail from mail.box to destinations.
@@ -207,8 +209,17 @@ type (
 // NewServer creates a server over a data directory.
 func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 
-// Dial connects and authenticates to a server.
+// Dial connects and authenticates to a server with default client options.
 func Dial(addr, user, secret string) (*Client, error) { return wire.Dial(addr, user, secret) }
+
+// DialOptions is Dial with explicit timeout/retry/backoff options.
+func DialOptions(addr, user, secret string, opts ClientOptions) (*Client, error) {
+	return wire.DialOptions(addr, user, secret, opts)
+}
+
+// RetryableError reports whether err is a transient transport failure that
+// a retry on a fresh connection may cure (server-reported errors are not).
+func RetryableError(err error) bool { return wire.Retryable(err) }
 
 // Agents.
 type (

@@ -1,0 +1,313 @@
+// Package faultnet injects deterministic network faults — connection
+// drops, I/O delays, byte truncation, and mid-stream severs — into
+// net.Conn traffic. It exists to prove the replication stack's claim of
+// restartability over flaky links: tests (and dominod via its -fault
+// flag) wrap dialers and listeners in a seeded Net and assert that
+// sessions severed at arbitrary byte offsets still converge on retry.
+//
+// Determinism: every connection draws its fault schedule from a
+// per-connection PRNG seeded by (plan seed, connection ordinal), so a
+// given seed reproduces the same fault sequence per connection
+// regardless of goroutine interleaving across connections.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by reads and writes that a Net
+// decided to fail. It unwraps from the *net.OpError the fault surfaces
+// as, so callers can both treat it as a generic network error and test
+// for injection explicitly.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Plan parameterizes the fault schedule. Probabilities are per event:
+// DropProb per connection attempt, the others per Read/Write call.
+type Plan struct {
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// DropProb is the probability a new connection is refused outright.
+	DropProb float64
+	// SeverProb is the per-I/O probability of killing the connection
+	// before the operation runs (both directions see it die).
+	SeverProb float64
+	// TruncProb is the per-write probability of transmitting only a
+	// prefix of the buffer and then severing — the classic dropped-WAN
+	// mid-frame failure.
+	TruncProb float64
+	// DelayProb is the per-I/O probability of sleeping up to MaxDelay
+	// before the operation.
+	DelayProb float64
+	// MaxDelay bounds injected delays (default 10ms when DelayProb > 0).
+	MaxDelay time.Duration
+	// SeverAfterBytes, when > 0, severs each connection once its
+	// combined read+write volume exceeds this many bytes. It guarantees
+	// a mid-transfer failure regardless of the probabilistic knobs.
+	SeverAfterBytes int64
+}
+
+// ParsePlan parses a comma-separated spec like
+// "seed=7,drop=0.1,sever=0.02,trunc=0.01,delay=0.2,maxdelay=20ms,afterbytes=4096".
+// Unknown keys are errors; omitted keys keep their zero values.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("faultnet: bad field %q (want key=value)", field)
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		case "drop":
+			p.DropProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "sever":
+			p.SeverProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "trunc":
+			p.TruncProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "delay":
+			p.DelayProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "maxdelay":
+			p.MaxDelay, err = time.ParseDuration(strings.TrimSpace(v))
+		case "afterbytes":
+			p.SeverAfterBytes, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		default:
+			return p, fmt.Errorf("faultnet: unknown field %q", k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faultnet: field %q: %w", field, err)
+		}
+	}
+	return p, nil
+}
+
+// Stats counts injected faults, for test assertions that the schedule
+// actually fired.
+type Stats struct {
+	Drops    int64 // connections refused at establishment
+	Severs   int64 // connections killed mid-stream
+	Truncs   int64 // writes cut short then severed
+	Delays   int64 // delays injected
+	Conns    int64 // connections wrapped
+	IOBytes  int64 // bytes successfully transferred through wrapped conns
+	Disabled bool  // whether injection is currently off
+}
+
+// Net applies one Plan to any number of connections. The zero value is
+// unusable; construct with New.
+type Net struct {
+	plan    Plan
+	mu      sync.Mutex
+	rng     *rand.Rand // connection-establishment decisions only
+	ordinal int64
+	off     atomic.Bool
+
+	drops  atomic.Int64
+	severs atomic.Int64
+	truncs atomic.Int64
+	delays atomic.Int64
+	conns  atomic.Int64
+	bytes  atomic.Int64
+}
+
+// New builds a Net from a plan.
+func New(plan Plan) *Net {
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 10 * time.Millisecond
+	}
+	return &Net{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Disable turns off all injection (existing and future connections pass
+// traffic through untouched). Tests use it to let a final, clean
+// replication pass certify convergence after a faulty run.
+func (f *Net) Disable() { f.off.Store(true) }
+
+// Enable re-arms injection after Disable.
+func (f *Net) Enable() { f.off.Store(false) }
+
+// Stats returns a snapshot of the fault counters.
+func (f *Net) Stats() Stats {
+	return Stats{
+		Drops:    f.drops.Load(),
+		Severs:   f.severs.Load(),
+		Truncs:   f.truncs.Load(),
+		Delays:   f.delays.Load(),
+		Conns:    f.conns.Load(),
+		IOBytes:  f.bytes.Load(),
+		Disabled: f.off.Load(),
+	}
+}
+
+// injectedErr wraps ErrInjected in a *net.OpError so generic network
+// error handling (and retry classification) treats it like any broken
+// connection.
+func injectedErr(op string) error {
+	return &net.OpError{Op: op, Net: "faultnet", Err: ErrInjected}
+}
+
+// Dial establishes a connection through the fault plan.
+func (f *Net) Dial(network, addr string) (net.Conn, error) {
+	f.mu.Lock()
+	drop := !f.off.Load() && f.rng.Float64() < f.plan.DropProb
+	f.mu.Unlock()
+	if drop {
+		f.drops.Add(1)
+		return nil, injectedErr("dial")
+	}
+	c, err := net.DialTimeout(network, addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wrap(c), nil
+}
+
+// Wrap subjects an existing connection to the fault plan.
+func (f *Net) Wrap(c net.Conn) net.Conn {
+	f.conns.Add(1)
+	f.mu.Lock()
+	ord := f.ordinal
+	f.ordinal++
+	f.mu.Unlock()
+	// Independent per-connection stream: deterministic per (seed, ordinal)
+	// even when connections interleave.
+	seed := f.plan.Seed*1_000_003 + ord
+	return &conn{Conn: c, net: f, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Listener wraps a listener so accepted connections pass through the
+// fault plan. Connection drops apply at accept time.
+func (f *Net) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, net: f}
+}
+
+type listener struct {
+	net.Listener
+	net *Net
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.net.mu.Lock()
+		drop := !l.net.off.Load() && l.net.rng.Float64() < l.net.plan.DropProb
+		l.net.mu.Unlock()
+		if drop {
+			l.net.drops.Add(1)
+			c.Close()
+			continue // drop this client, keep listening
+		}
+		return l.net.Wrap(c), nil
+	}
+}
+
+// conn is a net.Conn under a fault schedule. The rng is guarded by mu:
+// a Client may read and write concurrently, and determinism within one
+// connection only requires a consistent draw order for the scheduler's
+// serialized request/response pattern.
+type conn struct {
+	net.Conn
+	net *Net
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	moved   int64
+	severed bool
+}
+
+// decide draws the fate of one I/O operation: a delay to apply first,
+// and whether to sever. truncAt >= 0 additionally truncates a write of
+// size n to truncAt bytes before severing.
+func (c *conn) decide(n int, isWrite bool) (delay time.Duration, sever bool, truncAt int) {
+	truncAt = -1
+	if c.net.off.Load() {
+		return 0, false, -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.severed {
+		return 0, true, -1
+	}
+	p := &c.net.plan
+	if p.DelayProb > 0 && c.rng.Float64() < p.DelayProb {
+		delay = time.Duration(c.rng.Int63n(int64(p.MaxDelay) + 1))
+	}
+	if p.SeverAfterBytes > 0 && c.moved >= p.SeverAfterBytes {
+		c.severed = true
+		return delay, true, -1
+	}
+	if c.rng.Float64() < p.SeverProb {
+		c.severed = true
+		return delay, true, -1
+	}
+	if isWrite && n > 1 && c.rng.Float64() < p.TruncProb {
+		c.severed = true
+		return delay, true, c.rng.Intn(n-1) + 1 // at least 1, at most n-1 bytes
+	}
+	return delay, false, -1
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	delay, sever, _ := c.decide(len(b), false)
+	if delay > 0 {
+		c.net.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if sever {
+		c.net.severs.Add(1)
+		c.Conn.Close()
+		return 0, injectedErr("read")
+	}
+	n, err := c.Conn.Read(b)
+	c.account(n)
+	return n, err
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	delay, sever, truncAt := c.decide(len(b), true)
+	if delay > 0 {
+		c.net.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if sever && truncAt < 0 {
+		c.net.severs.Add(1)
+		c.Conn.Close()
+		return 0, injectedErr("write")
+	}
+	if truncAt >= 0 {
+		c.net.truncs.Add(1)
+		n, _ := c.Conn.Write(b[:truncAt])
+		c.account(n)
+		c.Conn.Close()
+		return n, injectedErr("write")
+	}
+	n, err := c.Conn.Write(b)
+	c.account(n)
+	return n, err
+}
+
+func (c *conn) account(n int) {
+	if n <= 0 {
+		return
+	}
+	c.net.bytes.Add(int64(n))
+	c.mu.Lock()
+	c.moved += int64(n)
+	c.mu.Unlock()
+}

@@ -1,0 +1,256 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on a fresh listener (optionally
+// fault-wrapped) and echoes bytes back until the conn dies.
+func echoServer(t *testing.T, wrap func(net.Listener) net.Listener) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	serve := net.Listener(ln)
+	if wrap != nil {
+		serve = wrap(ln)
+	}
+	go func() {
+		for {
+			c, err := serve.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPassThroughWhenQuiet(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 1}) // all probabilities zero
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello over a clean link")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo = %q", got)
+	}
+	if st := fn.Stats(); st.Severs+st.Drops+st.Truncs != 0 {
+		t.Errorf("quiet plan injected faults: %+v", st)
+	}
+}
+
+func TestSeverAfterBytesKillsMidStream(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 2, SeverAfterBytes: 64})
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 48)
+	var ioErr error
+	for i := 0; i < 10 && ioErr == nil; i++ {
+		_, ioErr = c.Write(buf)
+	}
+	if ioErr == nil {
+		t.Fatal("connection survived well past SeverAfterBytes")
+	}
+	if !errors.Is(ioErr, ErrInjected) {
+		t.Fatalf("error = %v, want ErrInjected", ioErr)
+	}
+	if st := fn.Stats(); st.Severs != 1 {
+		t.Errorf("severs = %d, want 1", st.Severs)
+	}
+}
+
+func TestInjectedErrorIsNetOpError(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 3, SeverProb: 1})
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Write([]byte("doomed"))
+	var op *net.OpError
+	if !errors.As(err, &op) {
+		t.Fatalf("injected error %T does not unwrap to *net.OpError", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not match ErrInjected", err)
+	}
+}
+
+func TestDropRefusesConnections(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 4, DropProb: 1})
+	if _, err := fn.Dial("tcp", addr); err == nil {
+		t.Fatal("drop plan allowed a dial")
+	}
+	if st := fn.Stats(); st.Drops != 1 {
+		t.Errorf("drops = %d", st.Drops)
+	}
+}
+
+func TestTruncationDeliversPrefixThenSevers(t *testing.T) {
+	// Server side records what it received before the sever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	recv := make(chan int, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		n, _ := io.Copy(io.Discard, c)
+		recv <- int(n)
+	}()
+	fn := New(Plan{Seed: 5, TruncProb: 1})
+	c, err := fn.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 1000)
+	n, err := c.Write(payload)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncating write err = %v", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("truncated write reported %d bytes of %d", n, len(payload))
+	}
+	select {
+	case got := <-recv:
+		if got != n {
+			t.Errorf("server saw %d bytes, client sent %d", got, n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the sever")
+	}
+}
+
+func TestDeterministicSchedulePerSeed(t *testing.T) {
+	// The same seed must produce the same per-connection fate sequence.
+	run := func(seed int64) []bool {
+		addr := echoServer(t, nil)
+		fn := New(Plan{Seed: seed, SeverProb: 0.3})
+		var fates []bool
+		for i := 0; i < 20; i++ {
+			c, err := fn.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = c.Write([]byte("0123456789"))
+			fates = append(fates, err != nil)
+			c.Close()
+		}
+		return fates
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at conn %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules (suspicious)")
+	}
+}
+
+func TestDisableStopsInjection(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 6, SeverProb: 1})
+	fn.Disable()
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("safe")); err != nil {
+		t.Fatalf("disabled net still injected: %v", err)
+	}
+	fn.Enable()
+	if _, err := c.Write([]byte("doomed")); err == nil {
+		t.Fatal("re-enabled net did not inject")
+	}
+}
+
+func TestListenerDropKeepsAccepting(t *testing.T) {
+	fn := New(Plan{Seed: 7, DropProb: 0.5})
+	addr := echoServer(t, fn.Listener)
+	// Even with a 50% accept-drop rate the server must keep serving:
+	// dial until one connection survives a round trip.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		c.SetDeadline(time.Now().Add(time.Second))
+		c.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err == nil {
+			c.Close()
+			return // success
+		}
+		c.Close()
+	}
+	t.Fatal("no connection ever survived the dropping listener")
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=9, drop=0.25, sever=0.5, trunc=0.125, delay=1, maxdelay=20ms, afterbytes=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 9, DropProb: 0.25, SeverProb: 0.5, TruncProb: 0.125,
+		DelayProb: 1, MaxDelay: 20 * time.Millisecond, SeverAfterBytes: 4096}
+	if p != want {
+		t.Errorf("ParsePlan = %+v, want %+v", p, want)
+	}
+	if _, err := ParsePlan("bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := ParsePlan("seed"); err == nil {
+		t.Error("missing value accepted")
+	}
+	if _, err := ParsePlan("seed=abc"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if p, err := ParsePlan(""); err != nil || p != (Plan{}) {
+		t.Errorf("empty spec: %+v, %v", p, err)
+	}
+}

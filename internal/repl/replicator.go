@@ -29,6 +29,22 @@ type Options struct {
 	// Full ignores replication history and exchanges complete inventories;
 	// used by the full-copy baseline experiment.
 	Full bool
+	// BatchSize bounds how many notes travel in one Fetch or Apply round
+	// trip (default 128). Smaller batches bound frame sizes and shrink the
+	// work lost when a flaky link severs mid-transfer: applied batches are
+	// durable, and a retried session skips them via the OID rules.
+	BatchSize int
+}
+
+// defaultBatchSize is the Fetch/Apply batch bound when Options.BatchSize
+// is unset.
+const defaultBatchSize = 128
+
+func (o Options) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return defaultBatchSize
 }
 
 // history tracks the cursors of past sessions with a peer. It lives in a
@@ -90,6 +106,13 @@ func saveHistory(db *core.Database, peerName string, h history) error {
 // Replicate runs one replication session between the local database and a
 // peer: pull remote changes, then push local ones. It returns transfer and
 // outcome statistics.
+//
+// Sessions are resumable: a cursor only advances after its phase has been
+// fully applied, and it is persisted the moment it advances — so a session
+// severed mid-pull restarts from the old cursor, a session severed during
+// push keeps its pull progress, and re-applying whatever did land before
+// the sever is a no-op under the OID rules. Re-running a severed session
+// therefore converges to exactly the state an unfailed session reaches.
 func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
 	var stats Stats
 	remoteReplica, err := peer.ReplicaID()
@@ -113,6 +136,13 @@ func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
 			return stats, err
 		}
 		h.LastPull = peerNow
+		// Persist the pull cursor now: a failure in the push phase must
+		// not force the next session to re-pull everything.
+		if !opts.Full {
+			if err := saveHistory(local, opts.PeerName, h); err != nil {
+				return stats, err
+			}
+		}
 	}
 	if !opts.PullOnly {
 		localNow, err := push(local, peer, &stats, h.LastPush, opts)
@@ -120,16 +150,18 @@ func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
 			return stats, err
 		}
 		h.LastPush = localNow
-	}
-	if !opts.Full {
-		if err := saveHistory(local, opts.PeerName, h); err != nil {
-			return stats, err
+		if !opts.Full {
+			if err := saveHistory(local, opts.PeerName, h); err != nil {
+				return stats, err
+			}
 		}
 	}
 	return stats, nil
 }
 
-// pull fetches remote changes since the cursor and applies them locally.
+// pull fetches remote changes since the cursor and applies them locally,
+// in batches so a severed link loses at most one unapplied batch of
+// transfer work.
 func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, opts Options) (nsf.Timestamp, error) {
 	sums, peerNow, err := peer.Summaries(since, opts.Formula)
 	if err != nil {
@@ -155,18 +187,26 @@ func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, op
 			stats.Pull.Skipped++
 		}
 	}
-	notes, err := peer.Fetch(need)
-	if err != nil {
-		return 0, err
-	}
-	stats.NotesFetched += len(notes)
-	for _, n := range notes {
-		stats.BytesIn += int64(len(nsf.EncodeNote(n)))
-		st, err := ApplyNote(local, n, opts.Apply)
+	batchSize := opts.batchSize()
+	for len(need) > 0 {
+		batch := need
+		if len(batch) > batchSize {
+			batch = batch[:batchSize]
+		}
+		need = need[len(batch):]
+		notes, err := peer.Fetch(batch)
 		if err != nil {
 			return 0, err
 		}
-		stats.Pull.Add(st)
+		stats.NotesFetched += len(notes)
+		for _, n := range notes {
+			stats.BytesIn += int64(len(nsf.EncodeNote(n)))
+			st, err := ApplyNote(local, n, opts.Apply)
+			if err != nil {
+				return 0, err
+			}
+			stats.Pull.Add(st)
+		}
 	}
 	return peerNow, nil
 }
@@ -211,8 +251,16 @@ func push(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, op
 		stats.BytesOut += int64(len(nsf.EncodeNote(n)))
 	}
 	stats.NotesSent += len(batch)
-	if len(batch) > 0 {
-		st, err := peer.Apply(batch)
+	// Ship in bounded batches: each applied batch is durable at the peer,
+	// and a batch whose acknowledgment was lost re-applies as skips.
+	batchSize := opts.batchSize()
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > batchSize {
+			chunk = chunk[:batchSize]
+		}
+		batch = batch[len(chunk):]
+		st, err := peer.Apply(chunk)
 		if err != nil {
 			return 0, err
 		}

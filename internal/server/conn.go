@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"time"
 
 	"repro/internal/acl"
 	"repro/internal/core"
@@ -26,19 +27,27 @@ type handleState struct {
 	sess *core.Session
 }
 
-// handleConn runs the request loop for one connection.
+// handleConn runs the request loop for one connection. Reads and writes
+// run under deadlines so a stalled or malicious peer (half-sent frame,
+// unread responses) can never pin the handler goroutine forever.
 func (s *Server) handleConn(conn net.Conn) {
 	st := &connState{s: s, handles: make(map[uint32]*handleState), nextH: 1}
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		payload, err := wire.ReadFrame(conn)
 		if err != nil {
-			return // closed or broken connection
+			return // closed, broken, or idle past the deadline
 		}
 		if len(payload) == 0 {
 			return
 		}
 		op := wire.Op(payload[0])
 		resp := st.dispatch(op, wire.NewDec(payload[1:]))
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := wire.WriteFrame(conn, resp.Bytes()); err != nil {
 			return
 		}
@@ -73,6 +82,8 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		resp, err = c.viewRows(d)
 	case wire.OpSearch:
 		resp, err = c.search(d)
+	case wire.OpReplicaID:
+		resp, err = c.replicaID(d)
 	case wire.OpSummaries:
 		resp, err = c.summaries(d)
 	case wire.OpFetch:
@@ -262,6 +273,20 @@ func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
 		resp.UNID(h.UNID).U64(uint64(math.Round(h.Score * 1e6)))
 	}
 	return resp, nil
+}
+
+// replicaID reports the database's replica ID, letting clients re-verify
+// replica-set membership on a live connection (e.g. after a reconnect).
+func (c *connState) replicaID(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	replica := hs.db.ReplicaID()
+	return wire.NewResp(wire.OpReplicaID, wire.StatusOK).Raw(replica[:]), nil
 }
 
 // replAccess gates raw replication operations: the caller needs Editor

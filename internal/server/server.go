@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -42,6 +43,14 @@ type Options struct {
 	// PeerSecret authenticates this server to its peers (looked up in
 	// their directories under Name).
 	PeerSecret string
+	// IdleTimeout bounds how long a connection may sit without delivering
+	// a complete request frame before the server drops it; it also bounds
+	// how long a half-sent frame can stall the handler. 0 uses the 5m
+	// default; negative disables the deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response frame. 0 uses the 30s
+	// default; negative disables the deadline.
+	WriteTimeout time.Duration
 }
 
 // Server is a running Domino-style server.
@@ -72,6 +81,18 @@ func New(opts Options) (*Server, error) {
 	}
 	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	switch {
+	case opts.IdleTimeout == 0:
+		opts.IdleTimeout = 5 * time.Minute
+	case opts.IdleTimeout < 0:
+		opts.IdleTimeout = 0
+	}
+	switch {
+	case opts.WriteTimeout == 0:
+		opts.WriteTimeout = 30 * time.Second
+	case opts.WriteTimeout < 0:
+		opts.WriteTimeout = 0
 	}
 	s := &Server{
 		opts:  opts,
@@ -221,12 +242,18 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve begins serving on an externally created listener — for example one
+// wrapped by faultnet for fault-injection runs — and returns its address.
+func (s *Server) Serve(ln net.Listener) string {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {

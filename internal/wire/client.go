@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/ft"
 	"repro/internal/nsf"
@@ -13,52 +16,221 @@ import (
 // protocolVersion is negotiated in the hello exchange.
 const protocolVersion = 1
 
-// Client is an authenticated connection to a server. Requests are
-// serialized; one Client supports concurrent callers.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	user string
+// Options tune a client's fault tolerance. The zero value gets production
+// defaults; see the field comments.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// OpTimeout bounds one request/response round trip; no wire operation
+	// can block past it (default 30s).
+	OpTimeout time.Duration
+	// MaxRetries is how many times a retryable, idempotent operation is
+	// re-attempted after the first failure (default 4). Negative disables
+	// retries entirely.
+	MaxRetries int
+	// BackoffBase is the first retry delay; each retry doubles it up to
+	// BackoffMax, with ±50% jitter (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Jitter seeds the backoff jitter; nil uses an unseeded source. Tests
+	// pass a seeded source for reproducible schedules.
+	Jitter *rand.Rand
+	// Dialer replaces the TCP dialer, e.g. with a faultnet.Net.Dial for
+	// fault-injection tests. nil dials plain TCP with DialTimeout.
+	Dialer func(network, addr string) (net.Conn, error)
 }
 
-// Dial connects and authenticates.
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Jitter == nil {
+		o.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return o
+}
+
+// Client is an authenticated connection to a server. Requests are
+// serialized; one Client supports concurrent callers. The client survives
+// transport faults: every operation runs under a deadline, retryable
+// failures of idempotent operations are retried with exponential backoff,
+// and a broken connection is transparently redialed, re-authenticated, and
+// its RemoteDB handles re-opened.
+type Client struct {
+	mu     sync.Mutex
+	opts   Options
+	addr   string
+	user   string
+	secret string
+
+	conn   net.Conn
+	broken bool
+	closed bool
+	// dbs are the live remote handles to rebind after a reconnect.
+	dbs map[*RemoteDB]struct{}
+}
+
+// Dial connects and authenticates with default fault-tolerance options.
 func Dial(addr, user, secret string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	return DialOptions(addr, user, secret, Options{})
+}
+
+// DialOptions connects and authenticates with explicit options. The
+// initial dial itself is retried like any idempotent operation, so a
+// server momentarily restarting does not fail the caller.
+func DialOptions(addr, user, secret string, opts Options) (*Client, error) {
+	c := &Client{
+		opts:   opts.withDefaults(),
+		addr:   addr,
+		user:   user,
+		secret: secret,
+		dbs:    make(map[*RemoteDB]struct{}),
 	}
-	c := &Client{conn: conn, user: user}
-	req := NewEnc(OpHello).U32(protocolVersion).Str(user).Str(secret)
-	if _, err := c.roundTrip(OpHello, req); err != nil {
-		conn.Close()
-		return nil, err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.reconnectLocked(); err == nil {
+			return c, nil
+		}
+		if !Retryable(err) || attempt >= c.opts.MaxRetries {
+			return nil, err
+		}
+		c.backoffLocked(attempt)
 	}
-	return c, nil
 }
 
 // Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // User returns the authenticated user name.
 func (c *Client) User() string { return c.user }
 
-// roundTrip sends a request and decodes the response envelope, returning a
-// decoder positioned at the response body.
-func (c *Client) roundTrip(op Op, req *Enc) (*Dec, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+// breakLocked abandons the current connection: it is closed immediately
+// (never leaked) and the next operation redials.
+func (c *Client) breakLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
-	payload, err := ReadFrame(c.conn)
+	c.broken = true
+}
+
+// backoffLocked sleeps the exponential-backoff delay for a retry attempt
+// (0-based), with ±50% jitter so synchronized clients don't stampede a
+// recovering server.
+func (c *Client) backoffLocked(attempt int) {
+	d := c.opts.BackoffBase << attempt
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	d = d/2 + time.Duration(c.opts.Jitter.Int63n(int64(d)))
+	time.Sleep(d)
+}
+
+// reconnectLocked dials, authenticates, and re-opens every registered
+// remote handle. On return without error the connection is usable.
+func (c *Client) reconnectLocked() error {
+	c.breakLocked()
+	dial := c.opts.Dialer
+	if dial == nil {
+		dial = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, c.opts.DialTimeout)
+		}
+	}
+	conn, err := dial("tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("wire: receive: %w", err)
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
+	c.conn = conn
+	c.broken = false
+	hello := NewEnc(OpHello).U32(protocolVersion).Str(c.user).Str(c.secret)
+	if _, err := c.doLocked(OpHello, hello); err != nil {
+		c.breakLocked()
+		return err
+	}
+	for db := range c.dbs {
+		if err := c.openLocked(db); err != nil {
+			var se *ServerError
+			if errors.As(err, &se) {
+				// The database vanished server-side; poison only this
+				// handle, the session itself is healthy.
+				db.stale = err
+				continue
+			}
+			c.breakLocked()
+			return err
+		}
+		db.stale = nil
+	}
+	return nil
+}
+
+// openLocked issues OpOpenDB for db and rebinds its handle fields.
+func (c *Client) openLocked(db *RemoteDB) error {
+	d, err := c.doLocked(OpOpenDB, NewEnc(OpOpenDB).Str(db.path))
+	if err != nil {
+		return err
+	}
+	handle := d.U32()
+	var replica nsf.ReplicaID
+	copy(replica[:], d.Raw(8))
+	title := d.Str()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	db.handle, db.replica, db.title = handle, replica, title
+	return nil
+}
+
+// doLocked performs one raw round trip on the current connection under the
+// per-operation deadline and decodes the response envelope. Any transport
+// or framing failure leaves the connection closed and marked broken — a
+// half-finished round trip can never be resumed, and an unclosed socket
+// would leak.
+func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
+	if c.conn == nil {
+		return nil, protoErrorf("no connection")
+	}
+	c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+	payload, err := c.exchangeLocked(req)
+	if err != nil {
+		c.breakLocked()
+		return nil, err
+	}
+	c.conn.SetDeadline(time.Time{})
 	if len(payload) < 2 {
-		return nil, fmt.Errorf("wire: short response")
+		c.breakLocked()
+		return nil, protoErrorf("short response envelope (%d bytes)", len(payload))
 	}
 	if payload[0] != byte(op)|respBit {
-		return nil, fmt.Errorf("wire: response op %#x does not match request %#x", payload[0], byte(op))
+		c.breakLocked()
+		return nil, protoErrorf("response op %#x does not match request %#x", payload[0], byte(op))
 	}
 	d := NewDec(payload[2:])
 	if payload[1] != StatusOK {
@@ -66,30 +238,101 @@ func (c *Client) roundTrip(op Op, req *Enc) (*Dec, error) {
 		if d.Err() != nil {
 			msg = "unknown server error"
 		}
-		return nil, fmt.Errorf("wire: server: %s", msg)
+		return nil, &ServerError{Op: op, Msg: msg}
 	}
 	return d, nil
 }
 
-// OpenDB opens a database by path on the server, returning a remote handle.
-func (c *Client) OpenDB(path string) (*RemoteDB, error) {
-	d, err := c.roundTrip(OpOpenDB, NewEnc(OpOpenDB).Str(path))
+func (c *Client) exchangeLocked(req *Enc) ([]byte, error) {
+	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	return payload, nil
+}
+
+// withRetry runs fn (which must perform its round trips via doLocked or
+// openLocked) under the client lock with retry, backoff, and transparent
+// reconnect. Non-idempotent operations are never re-sent once a round trip
+// has started — the request may have executed even though its response was
+// lost — but a failed *reconnect* retries regardless, since nothing was
+// sent. Server-reported errors never retry.
+func (c *Client) withRetry(idempotent bool, fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.conn == nil || c.broken {
+			if err := c.reconnectLocked(); err != nil {
+				if !Retryable(err) || attempt >= c.opts.MaxRetries {
+					return err
+				}
+				c.backoffLocked(attempt)
+				continue
+			}
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return err
+		}
+		if !idempotent || !Retryable(err) || attempt >= c.opts.MaxRetries {
+			return err
+		}
+		c.backoffLocked(attempt)
+	}
+}
+
+// call runs one operation with retry. build constructs the request per
+// attempt (remote handles may have been rebound by a reconnect in between).
+func (c *Client) call(op Op, idempotent bool, build func() (*Enc, error)) (*Dec, error) {
+	var d *Dec
+	err := c.withRetry(idempotent, func() error {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		d, err = c.doLocked(op, req)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	handle := d.U32()
-	var replica nsf.ReplicaID
-	copy(replica[:], d.Raw(8))
-	title := d.Str()
-	if err := d.Err(); err != nil {
+	return d, nil
+}
+
+// roundTrip runs one idempotent operation with a fixed request body.
+func (c *Client) roundTrip(op Op, req *Enc) (*Dec, error) {
+	return c.call(op, true, func() (*Enc, error) { return req, nil })
+}
+
+// OpenDB opens a database by path on the server, returning a remote handle.
+// The handle stays valid across reconnects: it is re-opened automatically.
+func (c *Client) OpenDB(path string) (*RemoteDB, error) {
+	db := &RemoteDB{c: c, path: path}
+	if err := c.withRetry(true, func() error { return c.openLocked(db) }); err != nil {
 		return nil, err
 	}
-	return &RemoteDB{c: c, handle: handle, replica: replica, title: title, path: path}, nil
+	c.mu.Lock()
+	c.dbs[db] = struct{}{}
+	c.mu.Unlock()
+	return db, nil
 }
 
 // MailDeposit drops a mail note into the server's mail.box for routing.
+// Depositing is not idempotent (a re-sent deposit would route twice), so
+// it is never retried once sent.
 func (c *Client) MailDeposit(n *nsf.Note) error {
-	_, err := c.roundTrip(OpMailDeposit, NewEnc(OpMailDeposit).Note(n))
+	req := NewEnc(OpMailDeposit).Note(n)
+	_, err := c.call(OpMailDeposit, false, func() (*Enc, error) { return req, nil })
 	return err
 }
 
@@ -97,10 +340,13 @@ func (c *Client) MailDeposit(n *nsf.Note) error {
 // repl.Peer, so a local replicator can sync against it directly.
 type RemoteDB struct {
 	c       *Client
+	path    string
 	handle  uint32
 	replica nsf.ReplicaID
 	title   string
-	path    string
+	// stale is set when a reconnect could not re-open this database; every
+	// operation fails with it until a later reconnect succeeds.
+	stale error
 }
 
 var _ repl.Peer = (*RemoteDB)(nil)
@@ -111,12 +357,49 @@ func (r *RemoteDB) Title() string { return r.title }
 // Path returns the server-side path the database was opened by.
 func (r *RemoteDB) Path() string { return r.path }
 
-// ReplicaID implements repl.Peer.
-func (r *RemoteDB) ReplicaID() (nsf.ReplicaID, error) { return r.replica, nil }
+// Release forgets the handle client-side: it is no longer re-opened after
+// reconnects. There is no server-side close; server handles die with the
+// connection.
+func (r *RemoteDB) Release() {
+	r.c.mu.Lock()
+	delete(r.c.dbs, r)
+	r.c.mu.Unlock()
+}
+
+// call runs one operation against this database's current handle.
+func (r *RemoteDB) call(op Op, idempotent bool, build func() *Enc) (*Dec, error) {
+	return r.c.call(op, idempotent, func() (*Enc, error) {
+		if r.stale != nil {
+			return nil, r.stale
+		}
+		return build(), nil
+	})
+}
+
+// ReplicaID implements repl.Peer. It asks the server rather than trusting
+// the value cached at open time, so it both verifies the link is alive and
+// notices a database swapped behind the same path.
+func (r *RemoteDB) ReplicaID() (nsf.ReplicaID, error) {
+	d, err := r.call(OpReplicaID, true, func() *Enc {
+		return NewEnc(OpReplicaID).U32(r.handle)
+	})
+	if err != nil {
+		return nsf.ReplicaID{}, err
+	}
+	var replica nsf.ReplicaID
+	copy(replica[:], d.Raw(8))
+	if err := d.Err(); err != nil {
+		return nsf.ReplicaID{}, err
+	}
+	r.replica = replica
+	return replica, nil
+}
 
 // Get fetches a note with the server enforcing the caller's read access.
 func (r *RemoteDB) Get(unid nsf.UNID) (*nsf.Note, error) {
-	d, err := r.c.roundTrip(OpGetNote, NewEnc(OpGetNote).U32(r.handle).UNID(unid))
+	d, err := r.call(OpGetNote, true, func() *Enc {
+		return NewEnc(OpGetNote).U32(r.handle).UNID(unid)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -124,9 +407,12 @@ func (r *RemoteDB) Get(unid nsf.UNID) (*nsf.Note, error) {
 	return n, d.Err()
 }
 
-// Create stores a new document.
+// Create stores a new document. Creation assigns server-side identity, so
+// it is not idempotent and is never re-sent after a mid-trip failure.
 func (r *RemoteDB) Create(n *nsf.Note) error {
-	d, err := r.c.roundTrip(OpCreateNote, NewEnc(OpCreateNote).U32(r.handle).Note(n))
+	d, err := r.call(OpCreateNote, false, func() *Enc {
+		return NewEnc(OpCreateNote).U32(r.handle).Note(n)
+	})
 	if err != nil {
 		return err
 	}
@@ -139,9 +425,12 @@ func (r *RemoteDB) Create(n *nsf.Note) error {
 	return nil
 }
 
-// Update stores a modified document.
+// Update stores a modified document. A re-sent update advances the version
+// twice, so it is not retried after a mid-trip failure.
 func (r *RemoteDB) Update(n *nsf.Note) error {
-	d, err := r.c.roundTrip(OpUpdateNote, NewEnc(OpUpdateNote).U32(r.handle).Note(n))
+	d, err := r.call(OpUpdateNote, false, func() *Enc {
+		return NewEnc(OpUpdateNote).U32(r.handle).Note(n)
+	})
 	if err != nil {
 		return err
 	}
@@ -153,9 +442,12 @@ func (r *RemoteDB) Update(n *nsf.Note) error {
 	return nil
 }
 
-// Delete replaces a document with a deletion stub.
+// Delete replaces a document with a deletion stub. Deleting a stub again
+// leaves it a stub, so Delete retries safely.
 func (r *RemoteDB) Delete(unid nsf.UNID) error {
-	_, err := r.c.roundTrip(OpDeleteNote, NewEnc(OpDeleteNote).U32(r.handle).UNID(unid))
+	_, err := r.call(OpDeleteNote, true, func() *Enc {
+		return NewEnc(OpDeleteNote).U32(r.handle).UNID(unid)
+	})
 	return err
 }
 
@@ -169,7 +461,9 @@ type ViewRow struct {
 
 // ViewRows renders a view server-side with the caller's read filtering.
 func (r *RemoteDB) ViewRows(view string) ([]ViewRow, error) {
-	d, err := r.c.roundTrip(OpViewRows, NewEnc(OpViewRows).U32(r.handle).Str(view))
+	d, err := r.call(OpViewRows, true, func() *Enc {
+		return NewEnc(OpViewRows).U32(r.handle).Str(view)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +485,9 @@ func (r *RemoteDB) ViewRows(view string) ([]ViewRow, error) {
 
 // Search runs a full-text query server-side.
 func (r *RemoteDB) Search(query string) ([]ft.Result, error) {
-	d, err := r.c.roundTrip(OpSearch, NewEnc(OpSearch).U32(r.handle).Str(query))
+	d, err := r.call(OpSearch, true, func() *Enc {
+		return NewEnc(OpSearch).U32(r.handle).Str(query)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +512,9 @@ type DBInfo struct {
 
 // Info fetches the remote database's statistics and view list.
 func (r *RemoteDB) Info() (DBInfo, error) {
-	d, err := r.c.roundTrip(OpDBInfo, NewEnc(OpDBInfo).U32(r.handle))
+	d, err := r.call(OpDBInfo, true, func() *Enc {
+		return NewEnc(OpDBInfo).U32(r.handle)
+	})
 	if err != nil {
 		return DBInfo{}, err
 	}
@@ -232,10 +530,12 @@ func (r *RemoteDB) Info() (DBInfo, error) {
 	return info, d.Err()
 }
 
-// Summaries implements repl.Peer.
+// Summaries implements repl.Peer. Listing versions writes nothing, so it
+// retries safely.
 func (r *RemoteDB) Summaries(since nsf.Timestamp, formulaSrc string) ([]repl.Summary, nsf.Timestamp, error) {
-	req := NewEnc(OpSummaries).U32(r.handle).U64(uint64(since)).Str(formulaSrc)
-	d, err := r.c.roundTrip(OpSummaries, req)
+	d, err := r.call(OpSummaries, true, func() *Enc {
+		return NewEnc(OpSummaries).U32(r.handle).U64(uint64(since)).Str(formulaSrc)
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -250,11 +550,13 @@ func (r *RemoteDB) Summaries(since nsf.Timestamp, formulaSrc string) ([]repl.Sum
 
 // Fetch implements repl.Peer.
 func (r *RemoteDB) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
-	req := NewEnc(OpFetch).U32(r.handle).U32(uint32(len(unids)))
-	for _, u := range unids {
-		req.UNID(u)
-	}
-	d, err := r.c.roundTrip(OpFetch, req)
+	d, err := r.call(OpFetch, true, func() *Enc {
+		req := NewEnc(OpFetch).U32(r.handle).U32(uint32(len(unids)))
+		for _, u := range unids {
+			req.UNID(u)
+		}
+		return req
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -266,13 +568,18 @@ func (r *RemoteDB) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
 	return out, d.Err()
 }
 
-// Apply implements repl.Peer.
+// Apply implements repl.Peer. Applying a replication batch is idempotent
+// by the OID rules (a note already present is skipped; conflict documents
+// have deterministic UNIDs), so a batch whose response was lost can be
+// re-sent safely.
 func (r *RemoteDB) Apply(notes []*nsf.Note) (repl.ApplyStats, error) {
-	req := NewEnc(OpApply).U32(r.handle).U32(uint32(len(notes)))
-	for _, n := range notes {
-		req.Note(n)
-	}
-	d, err := r.c.roundTrip(OpApply, req)
+	d, err := r.call(OpApply, true, func() *Enc {
+		req := NewEnc(OpApply).U32(r.handle).U32(uint32(len(notes)))
+		for _, n := range notes {
+			req.Note(n)
+		}
+		return req
+	})
 	if err != nil {
 		return repl.ApplyStats{}, err
 	}

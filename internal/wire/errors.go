@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ServerError is an application-level failure reported by the server in a
+// well-formed response (bad handle, access denied, unknown path, failed
+// authentication). The connection that carried it is still healthy, and
+// retrying the same request would fail the same way, so ServerErrors are
+// never retried.
+type ServerError struct {
+	Op  Op
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "wire: server: " + e.Msg }
+
+// ErrClosed is returned by operations on a client after Close.
+var ErrClosed = errors.New("wire: client closed")
+
+// protoError marks a framing/envelope violation (response op mismatch,
+// short envelope): the byte stream is out of sync and the connection must
+// be abandoned, but a fresh connection may well succeed.
+type protoError struct{ msg string }
+
+func (e *protoError) Error() string { return "wire: protocol: " + e.msg }
+
+func protoErrorf(format string, args ...any) error {
+	return &protoError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Retryable classifies an error from a wire operation: true for transport
+// faults where a fresh connection plus a re-sent request can succeed
+// (timeouts, resets, EOF mid-frame, refused dials, protocol desync), false
+// for server-reported application errors and everything unrecognized.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	var pe *protoError
+	if errors.As(err, &pe) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		// Covers *net.OpError (resets, refusals, injected faultnet
+		// faults) and deadline expiries.
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNABORTED) {
+		return true
+	}
+	return false
+}
