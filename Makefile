@@ -1,0 +1,35 @@
+# Repro of "A Database Perspective on Lotus Domino/Notes" (SIGMOD 1999).
+# Stdlib-only Go; no external tools required beyond the go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench experiments clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: build, vet, full tests, and the race detector.
+verify: build vet test race
+
+# Write-path benchmark suite (changefeed: latency vs open consumers).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkW1 -benchtime 500x .
+
+# Regenerate the write-path latency baseline (BENCH_writepath.json).
+experiments:
+	$(GO) run ./cmd/experiments -exp W1
+	$(GO) run ./cmd/experiments -exp W2
+
+clean:
+	$(GO) clean ./...

@@ -300,6 +300,80 @@ func BenchmarkF3FullTextScan(b *testing.B) {
 	}
 }
 
+// --- W1: write-path latency vs number of open consumers (changefeed) ---
+
+// writePathDB opens a database with the requested number of views (each
+// with a formula column, so maintenance does real work) and optionally a
+// full-text index.
+func writePathDB(b *testing.B, views int, fulltext bool) *domino.Database {
+	b.Helper()
+	db := openBench(b, domino.NewReplicaID())
+	for v := 0; v < views; v++ {
+		def, err := domino.NewView(fmt.Sprintf("w%d", v), "SELECT @All",
+			domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true},
+			domino.ViewColumn{Title: "Cat", ItemName: "Category", Sorted: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.AddView(nil, def); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fulltext {
+		if err := db.EnableFullText(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkW1WritePath measures raw Put latency as consumers scale. With
+// the changefeed, index maintenance runs on subscriber goroutines, so
+// views=8 should sit within a small factor of views=0 — write latency
+// independent of view count.
+func BenchmarkW1WritePath(b *testing.B) {
+	for _, views := range []int{0, 1, 8} {
+		for _, ftOn := range []bool{false, true} {
+			b.Run(fmt.Sprintf("views=%d/ft=%v", views, ftOn), func(b *testing.B) {
+				db := writePathDB(b, views, ftOn)
+				g := workload.New(11)
+				docs := g.Corpus(b.N, 512)
+				sess := db.Session("bench")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sess.Create(docs[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				db.Refresh() // drain maintainers so Cleanup's Close is fair
+			})
+		}
+	}
+}
+
+// BenchmarkW1WritePathRefreshed is the synchronous-equivalent cost: every
+// write is followed by a full refresh barrier, so maintenance latency is
+// paid back on the writer. The gap between this and W1WritePath is what
+// the changefeed takes off the write path.
+func BenchmarkW1WritePathRefreshed(b *testing.B) {
+	for _, views := range []int{0, 8} {
+		b.Run(fmt.Sprintf("views=%d", views), func(b *testing.B) {
+			db := writePathDB(b, views, false)
+			g := workload.New(12)
+			docs := g.Corpus(b.N, 512)
+			sess := db.Session("bench")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Create(docs[i]); err != nil {
+					b.Fatal(err)
+				}
+				db.Refresh()
+			}
+		})
+	}
+}
+
 // --- T4: crash recovery time vs operations since the last checkpoint ---
 
 func BenchmarkT4Recovery(b *testing.B) {

@@ -21,6 +21,7 @@
 //	route  10s                              # router interval
 //	cluster spoke                           # event-driven push to this peer
 //	catalog 5m                              # catalog refresh interval
+//	monitor 100                             # log an event every N changes per db
 //	agent  apps/tickets.nsf escalate 1m     # run a stored agent on a schedule
 //	fault  seed=7,sever=0.01,delay=0.1,maxdelay=5ms   # inject network faults
 //
@@ -65,6 +66,7 @@ type config struct {
 	routeTick   time.Duration
 	clusterWith []string
 	catalogTick time.Duration
+	monitorN    int
 	agents      []agentJob
 	faultSpec   string
 }
@@ -187,6 +189,13 @@ func parseConfig(path string) (*config, error) {
 				return nil, bad(err.Error())
 			}
 			cfg.catalogTick = d
+		case "monitor":
+			if len(fields) != 2 {
+				return nil, bad("monitor wants 1 argument")
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &cfg.monitorN); err != nil || cfg.monitorN <= 0 {
+				return nil, bad("monitor wants a positive change threshold")
+			}
 		case "fault":
 			if len(fields) != 2 {
 				return nil, bad("fault wants 1 argument")
@@ -277,6 +286,10 @@ func main() {
 		srv.EnableClustering(mates)
 		log.Printf("cluster push enabled to %v", cfg.clusterWith)
 	}
+	if cfg.monitorN > 0 {
+		srv.EnableMonitor(cfg.monitorN)
+		log.Printf("event monitor enabled (threshold %d changes)", cfg.monitorN)
+	}
 
 	stop := make(chan struct{})
 	// Router task.
@@ -300,30 +313,44 @@ func main() {
 			}
 		}
 	}()
-	// Replication jobs.
+	// Replication jobs. Each job selects on its schedule AND on the
+	// database's changefeed: local writes trigger a prompt (debounced) push
+	// instead of waiting out the polling interval, while the ticker remains
+	// the catch-up path for remote changes and missed triggers.
 	for _, job := range cfg.jobs {
 		job := job
+		jobDB, err := srv.OpenDB(job.dbPath, domino.Options{})
+		if err != nil {
+			log.Fatalf("dominod: replication db %s: %v", job.dbPath, err)
+		}
+		trigger := repl.NewChangeTrigger(jobDB, 250*time.Millisecond)
 		go func() {
+			defer trigger.Stop()
 			t := time.NewTicker(job.interval)
 			defer t.Stop()
+			runOnce := func() {
+				addr, ok := cfg.peers[strings.ToLower(job.peer)]
+				if !ok {
+					log.Printf("replicator: no address for peer %s", job.peer)
+					return
+				}
+				st, err := srv.ReplicateWith(job.peer, addr, job.dbPath, repl.Options{})
+				if err != nil {
+					log.Printf("replicator %s %s: %v", job.peer, job.dbPath, err)
+					return
+				}
+				if st.NotesFetched+st.NotesSent > 0 {
+					log.Printf("replicator %s %s: %s", job.peer, job.dbPath, st)
+				}
+			}
 			for {
 				select {
 				case <-stop:
 					return
 				case <-t.C:
-					addr, ok := cfg.peers[strings.ToLower(job.peer)]
-					if !ok {
-						log.Printf("replicator: no address for peer %s", job.peer)
-						continue
-					}
-					st, err := srv.ReplicateWith(job.peer, addr, job.dbPath, repl.Options{})
-					if err != nil {
-						log.Printf("replicator %s %s: %v", job.peer, job.dbPath, err)
-						continue
-					}
-					if st.NotesFetched+st.NotesSent > 0 {
-						log.Printf("replicator %s %s: %s", job.peer, job.dbPath, st)
-					}
+					runOnce()
+				case <-trigger.C():
+					runOnce()
 				}
 			}
 		}()

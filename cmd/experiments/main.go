@@ -31,6 +31,8 @@ var experiments = []experiment{
 	{"T6", "Mail routing throughput (local and cross-server)", runT6},
 	{"T7", "Formula evaluation cost by complexity", runT7},
 	{"T8", "Change propagation: cluster push vs scheduled replication", runT8},
+	{"W1", "Write-path latency vs open change consumers (changefeed)", runW1},
+	{"W2", "Incremental view refresh vs rebuild under concurrent writers", runW2},
 	{"F1", "Incremental replication vs full copy across deltas", runF1},
 	{"F2", "Conflict outcomes vs concurrent-edit overlap", runF2},
 	{"F3", "Full-text query latency: index vs scan", runF3},

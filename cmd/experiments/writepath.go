@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	domino "repro"
+	"repro/internal/workload"
+)
+
+// --- W1: write-path latency vs number of open change consumers ---
+//
+// The changefeed claim: Put latency is independent of how many views (and
+// whether a full-text index) are open, because maintenance happens on
+// subscriber goroutines. The "+refresh" rows re-add the cost by placing a
+// full refresh barrier after every write — the synchronous-equivalent
+// configuration the old write path always paid.
+
+// wpResult is one measured configuration, serialized to
+// BENCH_writepath.json as the regression baseline.
+type wpResult struct {
+	Views     int     `json:"views"`
+	FullText  bool    `json:"fulltext"`
+	Refreshed bool    `json:"refreshed"`
+	Ops       int     `json:"ops"`
+	P50us     float64 `json:"p50_us"`
+	P95us     float64 `json:"p95_us"`
+	Meanus    float64 `json:"mean_us"`
+}
+
+// wpDB opens a database with the requested consumers attached.
+func wpDB(views int, fulltext bool) *domino.Database {
+	db := tempDB("w1", domino.NewReplicaID())
+	for v := 0; v < views; v++ {
+		def, err := domino.NewView(fmt.Sprintf("w%d", v), "SELECT @All",
+			domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true},
+			domino.ViewColumn{Title: "Cat", ItemName: "Category", Sorted: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.AddView(nil, def); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if fulltext {
+		if err := db.EnableFullText(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return db
+}
+
+// measureWrites runs ops creates and returns per-op percentiles.
+func measureWrites(db *domino.Database, ops int, refreshed bool, seed int64) wpResult {
+	g := workload.New(seed)
+	docs := g.Corpus(ops, 512)
+	sess := db.Session("exp")
+	lats := make([]time.Duration, 0, ops)
+	var total time.Duration
+	for _, n := range docs {
+		start := time.Now()
+		if err := sess.Create(n); err != nil {
+			log.Fatal(err)
+		}
+		if refreshed {
+			db.Refresh()
+		}
+		d := time.Since(start)
+		lats = append(lats, d)
+		total += d
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	toUs := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return wpResult{
+		Refreshed: refreshed,
+		Ops:       ops,
+		P50us:     toUs(percentile(lats, 0.50)),
+		P95us:     toUs(percentile(lats, 0.95)),
+		Meanus:    toUs(total / time.Duration(ops)),
+	}
+}
+
+func runW1(quick bool) {
+	ops := pick(quick, 3000, 400)
+	var results []wpResult
+	t := newTable("views", "fulltext", "mode", "p50 µs", "p95 µs", "mean µs")
+	for _, views := range []int{0, 1, 8} {
+		for _, ftOn := range []bool{false, true} {
+			db := wpDB(views, ftOn)
+			r := measureWrites(db, ops, false, int64(100+views))
+			r.Views, r.FullText = views, ftOn
+			results = append(results, r)
+			t.add(views, fmt.Sprint(ftOn), "async", r.P50us, r.P95us, r.Meanus)
+			db.Refresh()
+			db.Close()
+		}
+	}
+	for _, views := range []int{0, 8} {
+		db := wpDB(views, false)
+		r := measureWrites(db, ops, true, int64(200+views))
+		r.Views = views
+		results = append(results, r)
+		t.add(views, "false", "+refresh", r.P50us, r.P95us, r.Meanus)
+		db.Close()
+	}
+	t.print()
+	var p50v0, p50v8 float64
+	for _, r := range results {
+		if !r.Refreshed && !r.FullText {
+			if r.Views == 0 {
+				p50v0 = r.P50us
+			}
+			if r.Views == 8 {
+				p50v8 = r.P50us
+			}
+		}
+	}
+	if p50v0 > 0 {
+		fmt.Printf("  p50 ratio 8 views / 0 views = %.2fx (target: <= 1.5x)\n", p50v8/p50v0)
+	}
+	fmt.Println("  (shape check: async p50 flat in consumer count; +refresh pays it back)")
+	f, err := os.Create("BENCH_writepath.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("  baseline written to BENCH_writepath.json")
+}
+
+// --- W2: incremental view refresh vs rebuild under concurrent writers ---
+//
+// The T2 experiment re-run with the write load still running: readers use
+// the refresh barrier (incremental catch-up) or force a full rebuild while
+// writers churn documents. The feed keeps maintenance incremental; the
+// resync counter shows whether the churn ever forced the rebuild fallback.
+
+func runW2(quick bool) {
+	n := pick(quick, 10000, 1000)
+	db := tempDB("w2", domino.NewReplicaID())
+	defer db.Close()
+	g := workload.New(7)
+	docs := seedDocs(db, g, n, 512)
+	def, _ := domino.NewView("bycat", "SELECT @All",
+		domino.ViewColumn{Title: "Category", ItemName: "Category", Sorted: true},
+		domino.ViewColumn{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err := db.AddView(nil, def); err != nil {
+		log.Fatal(err)
+	}
+
+	// Background churn: 4 writers mutating documents until stopped.
+	var stop atomic.Bool
+	var wrote atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wg2 := workload.New(int64(300 + w))
+			sess := db.Session(fmt.Sprintf("writer%d", w))
+			for i := 0; !stop.Load(); i++ {
+				d := docs[(w*1000+i)%len(docs)].Clone()
+				wg2.Mutate(d)
+				if err := sess.Update(d); err != nil {
+					log.Fatal(err)
+				}
+				wrote.Add(1)
+			}
+		}(w)
+	}
+
+	reads := pick(quick, 200, 40)
+	var refreshLats []time.Duration
+	for i := 0; i < reads; i++ {
+		start := time.Now()
+		if _, ok := db.View("bycat"); !ok { // barrier + lookup
+			log.Fatal("view lost")
+		}
+		refreshLats = append(refreshLats, time.Since(start))
+	}
+	sort.Slice(refreshLats, func(i, j int) bool { return refreshLats[i] < refreshLats[j] })
+
+	rebuilds := 3
+	start := time.Now()
+	for i := 0; i < rebuilds; i++ {
+		if err := db.AddView(nil, def); err != nil { // re-add forces rebuild
+			log.Fatal(err)
+		}
+	}
+	rebuild := time.Since(start) / time.Duration(rebuilds)
+
+	stop.Store(true)
+	wg.Wait()
+	db.Refresh()
+
+	t := newTable("docs", "writers", "refresh p50 µs", "refresh p95 µs", "rebuild ms", "rebuild/refresh")
+	p50 := percentile(refreshLats, 0.50)
+	p95 := percentile(refreshLats, 0.95)
+	ratio := float64(rebuild) / float64(p50)
+	t.add(n, 4, us(p50), us(p95), ms(rebuild), fmt.Sprintf("%.0fx", ratio))
+	t.print()
+	fs := db.Stats().Feed
+	fmt.Printf("  churn: %d concurrent updates; feed usn=%d, resyncs:", wrote.Load(), fs.LastUSN)
+	for _, s := range fs.Subscribers {
+		fmt.Printf(" %s=%d", s.Name, s.Resyncs)
+	}
+	fmt.Println()
+	fmt.Println("  (shape check: refresh barrier stays µs-scale under churn; rebuild pays the full scan)")
+}

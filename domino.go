@@ -19,8 +19,11 @@
 package domino
 
 import (
+	"time"
+
 	"repro/internal/acl"
 	"repro/internal/agent"
+	"repro/internal/changefeed"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dir"
@@ -59,6 +62,12 @@ type (
 	Clock = clock.Clock
 	// StoreStats reports storage statistics.
 	StoreStats = store.Stats
+	// DatabaseStats combines storage and change-propagation statistics
+	// (returned by Database.Stats).
+	DatabaseStats = core.Stats
+	// ChangefeedStats reports a database's change-propagation position and
+	// per-consumer lag.
+	ChangefeedStats = changefeed.Stats
 )
 
 // Errors.
@@ -176,7 +185,15 @@ type (
 	Peer = repl.Peer
 	// LocalPeer adapts a local database to Peer.
 	LocalPeer = repl.LocalPeer
+	// ChangeTrigger converts a database's changefeed into a debounced
+	// replicate-now signal for scheduled replication loops.
+	ChangeTrigger = repl.ChangeTrigger
 )
+
+// NewChangeTrigger subscribes a replication trigger to db's changefeed.
+func NewChangeTrigger(db *Database, debounce time.Duration) *ChangeTrigger {
+	return repl.NewChangeTrigger(db, debounce)
+}
 
 // Replicate runs one replication session between a local database and a
 // peer (local or remote).

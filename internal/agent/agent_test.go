@@ -86,6 +86,7 @@ func TestSaveTriggeredAgent(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := task(db, t, "auto", 1)
+	db.Refresh() // save triggers run on the changefeed, not the writer
 	got, _ := db.Session("admin").Get(n.OID.UNID)
 	if got.Text("Stamped") != "yes" {
 		t.Errorf("save trigger did not run: Stamped = %q", got.Text("Stamped"))
@@ -99,6 +100,7 @@ func TestSaveTriggeredAgent(t *testing.T) {
 	other := nsf.NewNote(nsf.ClassDocument)
 	other.SetText("Form", "Memo")
 	db.Session("admin").Create(other)
+	db.Refresh()
 	got, _ = db.Session("admin").Get(other.OID.UNID)
 	if got.Has("Stamped") {
 		t.Error("agent ran on unselected doc")

@@ -70,12 +70,16 @@ func (db *Database) ArchiveTo(dst *Database, cutoff nsf.Timestamp) (ArchiveStats
 			Created: n.Created,
 		}
 		stub.OID.Seq++
-		stub.OID.SeqTime = db.clock.Now()
-		stub.Modified = db.clock.Now()
+		db.wmu.Lock()
+		now := db.clock.Now()
+		stub.OID.SeqTime = now
+		stub.Modified = now
 		if err := db.st.Put(stub); err != nil {
+			db.wmu.Unlock()
 			return stats, err
 		}
-		db.noteChanged(stub)
+		db.commit(stub)
+		db.wmu.Unlock()
 	}
 	return stats, nil
 }

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nsf"
+	"repro/internal/view"
+)
+
+// addAllView defines a view selecting every memo.
+func addAllView(t *testing.T, db *Database, name string) {
+	t.Helper()
+	def, err := view.NewDefinition(name, `SELECT Form = "Memo"`,
+		view.Column{Title: "Subject", ItemName: "Subject", Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddView(nil, def); err != nil {
+		t.Fatalf("AddView: %v", err)
+	}
+}
+
+// TestReadYourWritesUnderConcurrency runs writers and readers concurrently;
+// each writer must see its own document in the view immediately after the
+// write, through the refresh barrier in Session.Rows.
+func TestReadYourWritesUnderConcurrency(t *testing.T) {
+	db := openDB(t, Options{})
+	addAllView(t, db, "all")
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session(fmt.Sprintf("user%d", w))
+			for i := 0; i < perWriter; i++ {
+				subject := fmt.Sprintf("w%d-m%d", w, i)
+				if err := s.Create(memo(subject)); err != nil {
+					errs <- err
+					return
+				}
+				rows, err := s.Rows("all")
+				if err != nil {
+					errs <- err
+					return
+				}
+				found := false
+				for _, r := range rows {
+					if r.Entry != nil && len(r.Entry.Values) > 0 && r.Entry.Values[0].String() == subject {
+						found = true
+						break
+					}
+				}
+				if !found {
+					errs <- fmt.Errorf("writer %d did not read its own write %q", w, subject)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ix, _ := db.View("all")
+	if ix.Len() != writers*perWriter {
+		t.Errorf("view has %d entries, want %d", ix.Len(), writers*perWriter)
+	}
+}
+
+// TestWaitForUSNReadYourWrites exercises the explicit barrier: after
+// WaitForUSN on the write's USN, even the stale (barrier-free) view handle
+// must contain the document.
+func TestWaitForUSNReadYourWrites(t *testing.T) {
+	db := openDB(t, Options{})
+	addAllView(t, db, "all")
+	s := db.Session("alice")
+	if err := s.Create(memo("barrier me")); err != nil {
+		t.Fatal(err)
+	}
+	usn := db.LastUSN()
+	db.WaitForUSN(usn)
+	ix, _ := db.ViewStale("all")
+	if ix.Len() != 1 {
+		t.Errorf("after WaitForUSN(%d) view has %d entries, want 1", usn, ix.Len())
+	}
+}
+
+// TestFeedOverflowFallsBackToRebuild laps a tiny feed while the view
+// maintainer is stalled, forcing the resync (rebuild) path, and asserts the
+// view converges to the correct contents anyway.
+func TestFeedOverflowFallsBackToRebuild(t *testing.T) {
+	db := openDB(t, Options{FeedCapacity: 4})
+	addAllView(t, db, "all")
+	s := db.Session("alice")
+	if err := s.Create(memo("pre")); err != nil {
+		t.Fatal(err)
+	}
+	db.Refresh()
+	// Stall the maintainers: applyToViews needs db.mu.RLock, which blocks
+	// while the test holds the write lock. Appends (wmu + store only) keep
+	// flowing, so the tiny ring is lapped many times over.
+	db.mu.Lock()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Create(memo(fmt.Sprintf("burst%d", i))); err != nil {
+			db.mu.Unlock()
+			t.Fatal(err)
+		}
+	}
+	db.mu.Unlock()
+	db.Refresh()
+	ix, _ := db.ViewStale("all")
+	if ix.Len() != n+1 {
+		t.Errorf("view has %d entries after overflow, want %d", ix.Len(), n+1)
+	}
+	var viewsSub *struct {
+		resyncs uint64
+		dropped bool
+	}
+	for _, sub := range db.Stats().Feed.Subscribers {
+		if sub.Name == "views" {
+			viewsSub = &struct {
+				resyncs uint64
+				dropped bool
+			}{sub.Resyncs, sub.Dropped}
+		}
+	}
+	if viewsSub == nil {
+		t.Fatal("no views subscriber in feed stats")
+	}
+	if viewsSub.dropped {
+		t.Error("views maintainer was dropped")
+	}
+	if viewsSub.resyncs == 0 {
+		t.Error("overflow did not trigger a view resync (rebuild)")
+	}
+}
+
+// TestPanickingOnChangeSubscriberIsIsolated registers a callback that
+// panics on every event. The writer must be unaffected, the barrier must
+// not wedge, and a healthy callback keeps receiving events.
+func TestPanickingOnChangeSubscriberIsIsolated(t *testing.T) {
+	db := openDB(t, Options{})
+	db.OnChange(func(n *nsf.Note) { panic("subscriber bug") })
+	var mu sync.Mutex
+	var healthy int
+	db.OnChange(func(n *nsf.Note) {
+		mu.Lock()
+		healthy++
+		mu.Unlock()
+	})
+	s := db.Session("alice")
+	for i := 0; i < 3; i++ {
+		if err := s.Create(memo(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("Create after subscriber panic: %v", err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { db.Refresh(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Refresh wedged on a panicked subscriber")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if healthy != 3 {
+		t.Errorf("healthy subscriber saw %d events, want 3", healthy)
+	}
+	dropped := false
+	for _, sub := range db.Stats().Feed.Subscribers {
+		if sub.Dropped {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Error("panicked subscriber not marked dropped in stats")
+	}
+}
+
+// TestWritePathDoesNotAliasCallerNote mutates the note after Create
+// returns; the view and full-text index must hold the values as committed,
+// because the feed carries a private clone.
+func TestWritePathDoesNotAliasCallerNote(t *testing.T) {
+	db := openDB(t, Options{})
+	addAllView(t, db, "all")
+	if err := db.EnableFullText(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("alice")
+	n := memo("committed subject")
+	if err := s.Create(n); err != nil {
+		t.Fatal(err)
+	}
+	// Hostile caller: scribble on the note the indexes were handed.
+	n.SetText("Subject", "scribbled")
+	n.SetText("Form", "NotAMemo")
+	db.Refresh()
+	ix, _ := db.ViewStale("all")
+	if ix.Len() != 1 {
+		t.Fatalf("view has %d entries, want 1 (selection must use committed Form)", ix.Len())
+	}
+	rows := ix.Rows(nil)
+	got := ""
+	for _, r := range rows {
+		if r.Entry != nil && len(r.Entry.Values) > 0 {
+			got = r.Entry.Values[0].String()
+		}
+	}
+	if got != "committed subject" {
+		t.Errorf("view column = %q, want the committed value", got)
+	}
+	if hits, err := s.Search("committed"); err != nil || len(hits) != 1 {
+		t.Errorf("search for committed text: %d hits, %v", len(hits), err)
+	}
+	if hits, _ := s.Search("scribbled"); len(hits) != 0 {
+		t.Errorf("search found post-commit scribble: %d hits", len(hits))
+	}
+}
+
+// TestWriteLatencyIndependentOfConsumers is a smoke check of the tentpole
+// property: a Put must not block on a slow subscriber.
+func TestWriteLatencyIndependentOfConsumers(t *testing.T) {
+	db := openDB(t, Options{})
+	release := make(chan struct{})
+	var once sync.Once
+	db.OnChange(func(n *nsf.Note) { <-release }) // wedged consumer
+	defer once.Do(func() { close(release) })
+	s := db.Session("alice")
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := s.Create(memo(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("writes blocked on a wedged subscriber: %v", d)
+	}
+	once.Do(func() { close(release) })
+}

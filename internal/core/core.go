@@ -3,6 +3,14 @@
 // enforcement through sessions, persistent view definitions with
 // incrementally maintained indexes, optional full-text indexing, and the
 // raw interfaces the replicator uses.
+//
+// Change propagation is asynchronous: every mutation is stamped with a USN
+// and appended to a per-database changefeed; view indexes, the full-text
+// index, unread tables, and OnChange subscribers catch up on their own
+// goroutines. Write latency is therefore independent of how many views or
+// subscribers are open. Readers get read-your-writes on demand through the
+// refresh barrier (WaitForUSN / Refresh), which Session.Rows and
+// Session.Search apply automatically — the Domino "view refresh on open".
 package core
 
 import (
@@ -10,8 +18,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/acl"
+	"repro/internal/changefeed"
 	"repro/internal/clock"
 	"repro/internal/dir"
 	"repro/internal/formula"
@@ -42,6 +52,10 @@ type Options struct {
 	Clock *clock.Clock
 	// Store passes through storage engine options (sync, checkpointing).
 	Store store.Options
+	// FeedCapacity bounds the in-memory changefeed (entries retained for
+	// lagging consumers before they fall back to a rebuild). Zero uses
+	// changefeed.DefaultCapacity.
+	FeedCapacity int
 }
 
 // Database is an open NSF database.
@@ -50,12 +64,22 @@ type Database struct {
 	clock *clock.Clock
 	dirs  *dir.Directory
 
-	mu       sync.RWMutex
-	acl      *acl.ACL
-	views    map[string]*view.Index
-	ftIndex  *ft.Index
-	onChange []func(*nsf.Note)
-	unread   map[string]*unreadTable
+	// feed is the sequenced change log every consumer hangs off; wmu orders
+	// store commits with feed appends so consumers observe commit order.
+	feed *changefeed.Feed
+	wmu  sync.Mutex
+
+	// ftCursor is the catch-up cursor the full-text maintainer has applied
+	// through: every note with Modified <= ftCursor is reflected in the
+	// index. The sidecar persists it so reloads catch up incrementally.
+	ftCursor atomic.Int64
+
+	mu        sync.RWMutex
+	acl       *acl.ACL
+	views     map[string]*view.Index
+	ftIndex   *ft.Index
+	onChanges int // counter naming OnChange subscribers
+	unread    map[string]*unreadTable
 }
 
 // Open opens or creates the database file at path.
@@ -74,12 +98,38 @@ func Open(path string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &Database{st: st, clock: ck, dirs: opts.Directory, views: make(map[string]*view.Index)}
+	db := &Database{
+		st:    st,
+		clock: ck,
+		dirs:  opts.Directory,
+		views: make(map[string]*view.Index),
+		feed:  changefeed.New(opts.FeedCapacity),
+	}
 	if err := db.loadDesign(); err != nil {
 		st.Close()
 		return nil, err
 	}
+	db.startMaintainers()
 	return db, nil
+}
+
+// startMaintainers subscribes the index maintainers to the changefeed. They
+// run for the life of the database, each on its own goroutine.
+func (db *Database) startMaintainers() {
+	db.feed.Subscribe("views", changefeed.Funcs{
+		ApplyFunc:  db.applyToViews,
+		ResyncFunc: db.resyncViews,
+	})
+	db.feed.Subscribe("fulltext", changefeed.Funcs{
+		ApplyFunc:  db.applyToFullText,
+		ResyncFunc: db.resyncFullText,
+	})
+	db.feed.Subscribe("unread", changefeed.Funcs{
+		ApplyFunc: db.applyToUnread,
+		// Unread tables self-heal: UnreadCount prunes marks for vanished
+		// documents, so an overflow needs no rebuild.
+		ResyncFunc: func(uint64) error { return nil },
+	})
 }
 
 // loadDesign reads the ACL note and view design notes.
@@ -128,9 +178,11 @@ func (db *Database) loadDesign() error {
 	return nil
 }
 
-// Close persists the full-text sidecar (when enabled), checkpoints, and
-// closes the database.
+// Close drains the changefeed (maintainers apply everything already
+// committed), persists the full-text sidecar (when enabled), checkpoints,
+// and closes the database.
 func (db *Database) Close() error {
+	db.feed.Close()
 	ftErr := db.SaveFullText()
 	err := db.st.Close()
 	if err == nil {
@@ -151,8 +203,32 @@ func (db *Database) Count() int { return db.st.Count() }
 // Clock returns the database's clock (shared with its server).
 func (db *Database) Clock() *clock.Clock { return db.clock }
 
-// Stats returns storage statistics.
-func (db *Database) Stats() store.Stats { return db.st.Stats() }
+// Stats reports database statistics: storage plus change-propagation (feed
+// head, per-consumer lag, resync and drop counts).
+type Stats struct {
+	store.Stats
+	// Feed reports changefeed position and per-subscriber progress.
+	Feed changefeed.Stats
+}
+
+// Stats returns current database statistics.
+func (db *Database) Stats() Stats {
+	return Stats{Stats: db.st.Stats(), Feed: db.feed.Stats()}
+}
+
+// LastUSN returns the update sequence number of the most recent committed
+// change (0 when none). Combine with WaitForUSN for read-your-writes.
+func (db *Database) LastUSN() uint64 { return db.feed.LastUSN() }
+
+// WaitForUSN blocks until every live change consumer (views, full-text,
+// unread tables, OnChange subscribers) has applied through usn — the
+// read-side refresh barrier.
+func (db *Database) WaitForUSN(usn uint64) { db.feed.WaitForUSN(usn) }
+
+// Refresh waits until all change consumers have caught up with every
+// change committed before the call — Domino's "view refresh", generalized.
+// Session.Rows and Session.Search call it automatically.
+func (db *Database) Refresh() { db.feed.WaitForUSN(db.feed.LastUSN()) }
 
 // ACL returns the database ACL.
 func (db *Database) ACL() *acl.ACL {
@@ -162,12 +238,37 @@ func (db *Database) ACL() *acl.ACL {
 }
 
 // OnChange registers fn to run after every note change (including
-// replication applies and stub creation). Callbacks run synchronously on
-// the writing goroutine and must not call back into the database.
+// replication applies and stub creation). Callbacks run asynchronously on
+// a dedicated changefeed subscriber goroutine, in commit order; a callback
+// that panics is dropped (with a log line) rather than unwinding anything
+// else. Callbacks must not invoke the read barrier (Rows, Search, View,
+// Refresh) on the same database — the barrier would wait on the callback's
+// own cursor. Use Refresh from the outside to observe callback effects.
 func (db *Database) OnChange(fn func(*nsf.Note)) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.onChange = append(db.onChange, fn)
+	db.onChanges++
+	name := fmt.Sprintf("onchange-%d", db.onChanges)
+	db.mu.Unlock()
+	db.feed.Subscribe(name, changefeed.Funcs{
+		ApplyFunc: func(e changefeed.Entry) {
+			// Physical deletes (stub purges) stay local, as before the feed.
+			if e.Kind == changefeed.Put && e.Note != nil {
+				fn(e.Note)
+			}
+		},
+		// Missed events cannot be replayed from a bounded feed; consumers
+		// with durability needs (cluster push) already have a catch-up path
+		// (the scheduled replicator).
+		ResyncFunc: func(uint64) error { return nil },
+	})
+}
+
+// commit appends a stored note to the changefeed. Call with wmu held, right
+// after the store write, so feed order matches commit order. The note is
+// cloned: consumers keep a frozen copy, so a caller mutating the note after
+// Put returns can never corrupt an index.
+func (db *Database) commit(n *nsf.Note) {
+	db.feed.Append(changefeed.Put, n.OID.UNID, n.Clone())
 }
 
 // aclNoteUNID derives the deterministic UNID of the ACL note so that every
@@ -204,14 +305,12 @@ func (db *Database) SaveACL(s *Session) error {
 
 // putVersioned advances a note's OID and stores it.
 func (db *Database) putVersioned(n *nsf.Note) error {
-	now := db.clock.Now()
 	old, err := db.st.GetByUNID(n.OID.UNID)
+	isNew := false
 	switch {
 	case errors.Is(err, ErrNotFound):
+		isNew = true
 		n.OID.Seq = 1
-		if n.Created == 0 {
-			n.Created = now
-		}
 		for i := range n.Items {
 			n.Items[i].Rev = 1
 		}
@@ -232,45 +331,127 @@ func (db *Database) putVersioned(n *nsf.Note) error {
 			}
 		}
 	}
+	// Timestamps are issued inside the commit section so Modified order
+	// matches feed (USN) order — the full-text catch-up cursor depends on
+	// that monotonicity.
+	db.wmu.Lock()
+	now := db.clock.Now()
+	if isNew && n.Created == 0 {
+		n.Created = now
+	}
 	n.OID.SeqTime = now
 	n.Modified = now
 	if err := db.st.Put(n); err != nil {
+		db.wmu.Unlock()
 		return err
 	}
-	db.noteChanged(n)
+	db.commit(n)
+	db.wmu.Unlock()
 	return nil
 }
 
-// noteChanged propagates a stored note to views, the full-text index, and
-// subscribers.
-func (db *Database) noteChanged(n *nsf.Note) {
+func (db *Database) evalContext(user string) *formula.Context {
+	return &formula.Context{UserName: user, Now: db.clock.Now}
+}
+
+// --- changefeed maintainers (each runs on its own subscriber goroutine) ---
+
+// applyToViews reflects one change in every open view index.
+func (db *Database) applyToViews(e changefeed.Entry) {
 	db.mu.RLock()
 	views := make([]*view.Index, 0, len(db.views))
 	for _, ix := range db.views {
 		views = append(views, ix)
 	}
-	fti := db.ftIndex
-	subs := append([]func(*nsf.Note){}, db.onChange...)
 	db.mu.RUnlock()
+	if e.Kind == changefeed.Delete {
+		for _, ix := range views {
+			ix.Remove(e.UNID)
+		}
+		return
+	}
 	ctx := db.evalContext("")
 	for _, ix := range views {
 		// Design changes to the view itself are handled by AddView; data
 		// note errors here indicate a broken column formula — surface by
-		// dropping the note from the view rather than failing the write.
-		if _, err := ix.Update(n, ctx); err != nil {
-			ix.Remove(n.OID.UNID)
+		// dropping the note from the view rather than failing maintenance.
+		if _, err := ix.Update(e.Note, ctx); err != nil {
+			ix.Remove(e.UNID)
 		}
-	}
-	if fti != nil {
-		fti.Update(n)
-	}
-	for _, fn := range subs {
-		fn(n)
 	}
 }
 
-func (db *Database) evalContext(user string) *formula.Context {
-	return &formula.Context{UserName: user, Now: db.clock.Now}
+// resyncViews rebuilds every view from the store after the maintainer fell
+// out of the feed window — the refresh-vs-rebuild fallback.
+func (db *Database) resyncViews(uint64) error {
+	db.mu.RLock()
+	views := make([]*view.Index, 0, len(db.views))
+	for _, ix := range db.views {
+		views = append(views, ix)
+	}
+	db.mu.RUnlock()
+	for _, ix := range views {
+		if err := db.rebuildView(ix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyToFullText reflects one change in the full-text index, advancing the
+// sidecar catch-up cursor.
+func (db *Database) applyToFullText(e changefeed.Entry) {
+	fti := db.FullText()
+	if fti == nil {
+		return
+	}
+	if e.Kind == changefeed.Delete {
+		fti.Remove(e.UNID)
+		return
+	}
+	fti.Update(e.Note)
+	db.advanceFTCursor(e.Note.Modified)
+}
+
+// resyncFullText rebuilds the full-text index from the store into a fresh
+// index and swaps it in (searches keep hitting the old one meanwhile).
+func (db *Database) resyncFullText(uint64) error {
+	if db.FullText() == nil {
+		return nil
+	}
+	pre := db.clock.Now()
+	ix := ft.NewIndex()
+	err := db.st.ScanAll(func(n *nsf.Note) bool {
+		ix.Update(n)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.ftIndex = ix
+	db.mu.Unlock()
+	db.setFTCursor(pre)
+	return nil
+}
+
+// applyToUnread drops read marks for documents that no longer exist, so
+// loaded unread tables do not accumulate marks for purged notes.
+func (db *Database) applyToUnread(e changefeed.Entry) {
+	if e.Kind != changefeed.Delete && (e.Note == nil || !e.Note.IsStub()) {
+		return
+	}
+	db.mu.RLock()
+	tables := make([]*unreadTable, 0, len(db.unread))
+	for _, t := range db.unread {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	for _, t := range tables {
+		t.mu.Lock()
+		delete(t.read, e.UNID)
+		t.mu.Unlock()
+	}
 }
 
 // --- raw (trusted) access, used by the replicator and server tasks ---
@@ -280,7 +461,7 @@ func (db *Database) RawGet(unid nsf.UNID) (*nsf.Note, error) { return db.st.GetB
 
 // RawPut stores a note without touching its OID (the replicator supplies
 // complete OIDs from the source replica). Views, full-text, and change
-// subscribers still fire.
+// subscribers are maintained through the changefeed.
 func (db *Database) RawPut(n *nsf.Note) error {
 	db.clock.Observe(n.OID.SeqTime)
 	db.clock.Observe(n.Modified)
@@ -291,14 +472,20 @@ func (db *Database) RawPut(n *nsf.Note) error {
 	} else if !errors.Is(err, ErrNotFound) {
 		return err
 	}
+	db.wmu.Lock()
 	// Replication must not regress the local modification index: stamp the
 	// local receive time so ScanModifiedSince finds the note for onward
 	// replication, while the OID keeps the original version identity.
 	n.Modified = db.clock.Now()
 	if err := db.st.Put(n); err != nil {
+		db.wmu.Unlock()
 		return err
 	}
-	// A design note arriving by replication must take effect.
+	db.commit(n)
+	db.wmu.Unlock()
+	// A design note arriving by replication must take effect. This stays on
+	// the writer's path: it is rare and needs the store to be consistent
+	// with the design registry.
 	if n.Class == nsf.ClassACL && !n.IsStub() {
 		if a, err := acl.FromNote(n); err == nil {
 			db.mu.Lock()
@@ -309,37 +496,23 @@ func (db *Database) RawPut(n *nsf.Note) error {
 	if n.Class == nsf.ClassView && !n.IsStub() {
 		if def, err := defFromNote(n); err == nil {
 			ix := view.NewIndex(def)
-			if err := db.rebuildView(ix); err == nil {
-				db.mu.Lock()
-				db.views[strings.ToLower(def.Name)] = ix
-				db.mu.Unlock()
+			if err := db.installView(ix); err != nil {
+				return err
 			}
 		}
 	}
-	db.noteChanged(n)
 	return nil
 }
 
 // RawDelete removes a note physically, bypassing stubs (used by the stub
-// purger).
+// purger). Indexes drop the note when the feed entry reaches them.
 func (db *Database) RawDelete(unid nsf.UNID) error {
-	err := db.st.Delete(unid)
-	if err != nil {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	if err := db.st.Delete(unid); err != nil {
 		return err
 	}
-	db.mu.RLock()
-	views := make([]*view.Index, 0, len(db.views))
-	for _, ix := range db.views {
-		views = append(views, ix)
-	}
-	fti := db.ftIndex
-	db.mu.RUnlock()
-	for _, ix := range views {
-		ix.Remove(unid)
-	}
-	if fti != nil {
-		fti.Remove(unid)
-	}
+	db.feed.Append(changefeed.Delete, unid, nil)
 	return nil
 }
 
@@ -388,3 +561,16 @@ func (db *Database) Compact() (int, error) { return db.st.Compact() }
 // "fixup" in detect-only mode) and returns a description of each problem
 // found; empty means healthy.
 func (db *Database) Verify() []string { return db.st.Verify() }
+
+// advanceFTCursor moves the full-text catch-up cursor forward (never back).
+func (db *Database) advanceFTCursor(t nsf.Timestamp) {
+	for {
+		cur := db.ftCursor.Load()
+		if int64(t) <= cur || db.ftCursor.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// setFTCursor pins the full-text catch-up cursor (rebuild and enable).
+func (db *Database) setFTCursor(t nsf.Timestamp) { db.ftCursor.Store(int64(t)) }

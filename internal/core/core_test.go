@@ -265,6 +265,7 @@ func TestViewsPersistAndMaintain(t *testing.T) {
 	if err := s2.Create(memo("new one")); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
+	db2.Refresh() // maintenance is async; barrier before inspecting the index
 	if ix2.Len() != 6 {
 		t.Errorf("view did not update incrementally: %d", ix2.Len())
 	}
@@ -314,6 +315,7 @@ func TestOnChangeFires(t *testing.T) {
 	s.Create(n)
 	n.SetText("Subject", "e2")
 	s.Update(n)
+	db.Refresh() // callbacks run on a feed subscriber goroutine
 	if len(events) != 2 || events[0] != "e1" || events[1] != "e2" {
 		t.Errorf("events = %v", events)
 	}

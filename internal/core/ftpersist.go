@@ -24,26 +24,33 @@ const ftSidecarMagic = "NSFFT001"
 func (db *Database) ftSidecarPath() string { return db.st.Path() + ".ft" }
 
 // EnableFullText builds or loads the database's full-text index; after it
-// returns, the index is maintained incrementally, and Close persists it.
+// returns, the index is maintained incrementally through the changefeed,
+// and Close persists it. The commit lock is held across the build so the
+// scan sees a frozen store; feed entries still in flight re-apply versions
+// the scan already saw, which the index absorbs idempotently.
 func (db *Database) EnableFullText() error {
-	if ix, err := db.loadFullText(); err == nil {
-		db.mu.Lock()
-		db.ftIndex = ix
-		db.mu.Unlock()
-		return nil
-	}
-	// No usable snapshot: full build.
-	ix := ft.NewIndex()
-	err := db.st.ScanAll(func(n *nsf.Note) bool {
-		ix.Update(n)
-		return true
-	})
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	// Every note already committed has Modified < pre (the clock is strictly
+	// monotonic), so an index covering the current store is complete through
+	// pre; everything after flows through the feed maintainer.
+	pre := db.clock.Now()
+	ix, err := db.loadFullText()
 	if err != nil {
-		return err
+		// No usable snapshot: full build.
+		ix = ft.NewIndex()
+		err := db.st.ScanAll(func(n *nsf.Note) bool {
+			ix.Update(n)
+			return true
+		})
+		if err != nil {
+			return err
+		}
 	}
 	db.mu.Lock()
 	db.ftIndex = ix
 	db.mu.Unlock()
+	db.setFTCursor(pre)
 	return nil
 }
 
@@ -102,9 +109,13 @@ func (db *Database) SaveFullText() error {
 	if ix == nil {
 		return nil
 	}
-	// Take the cursor before snapshotting: writes racing the save will be
-	// re-indexed by the next catch-up, never lost.
-	cursor := db.clock.Now()
+	// Drain pending maintenance so the snapshot is current, then record the
+	// maintainer's catch-up cursor: every note with Modified <= cursor is in
+	// the index; writes racing the save are re-indexed by the next catch-up,
+	// never lost. (After Close the feed is already drained and the barrier
+	// returns immediately.)
+	db.Refresh()
+	cursor := nsf.Timestamp(db.ftCursor.Load())
 	tmp := db.ftSidecarPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

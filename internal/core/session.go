@@ -144,8 +144,11 @@ func (s *Session) entryReadable(e *view.Entry) bool {
 	return false
 }
 
-// Search runs a full-text query, filtering hits by read access.
+// Search runs a full-text query, filtering hits by read access. A refresh
+// barrier first waits for index maintenance to catch up, so the results
+// reflect every change committed before the call.
 func (s *Session) Search(query string) ([]ft.Result, error) {
+	s.db.Refresh()
 	fti := s.db.FullText()
 	if fti == nil {
 		return nil, errors.New("core: full-text index not enabled")

@@ -128,12 +128,23 @@ func (db *Database) AddView(s *Session, def *view.Definition) error {
 	if err := db.putVersioned(n); err != nil {
 		return err
 	}
-	ix := view.NewIndex(def)
+	return db.installView(view.NewIndex(def))
+}
+
+// installView populates a new view index from the store and registers it
+// with the maintainer. It holds the commit lock across the rebuild so the
+// scan sees a frozen store: every change committed before the scan is in
+// it, and every change after registration reaches the index through the
+// feed — entries still in flight re-apply versions the scan already saw,
+// which the index absorbs idempotently.
+func (db *Database) installView(ix *view.Index) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	if err := db.rebuildView(ix); err != nil {
 		return err
 	}
 	db.mu.Lock()
-	db.views[strings.ToLower(def.Name)] = ix
+	db.views[strings.ToLower(ix.Definition().Name)] = ix
 	db.mu.Unlock()
 	return nil
 }
@@ -153,8 +164,17 @@ func (db *Database) findViewNote(name string) (nsf.UNID, bool) {
 	return unid, found
 }
 
-// View returns the named view index, if defined.
+// View returns the named view index, if defined, after a refresh barrier:
+// the index reflects every change committed before the call (Domino's
+// "view refresh on open"). Use ViewStale to skip the barrier.
 func (db *Database) View(name string) (*view.Index, bool) {
+	db.Refresh()
+	return db.ViewStale(name)
+}
+
+// ViewStale returns the named view index without waiting for maintenance
+// to catch up — the index may lag recent writes.
+func (db *Database) ViewStale(name string) (*view.Index, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ix, ok := db.views[strings.ToLower(name)]

@@ -66,6 +66,19 @@ func (s *Server) RefreshCatalog() (int, error) {
 		n.SetWithFlags("ReplicaID", nsf.TextValue(db.ReplicaID().String()), nsf.FlagSummary)
 		n.SetNumber("Notes", float64(stats.Notes))
 		n.SetNumber("Pages", float64(stats.Pages))
+		// Change-propagation health: feed position, worst consumer lag, and
+		// how often consumers fell back to a rebuild.
+		n.SetNumber("ChangeUSN", float64(stats.Feed.LastUSN))
+		n.SetNumber("ChangeMaxLag", float64(stats.Feed.MaxLag))
+		resyncs, dropped := 0.0, 0.0
+		for _, sub := range stats.Feed.Subscribers {
+			resyncs += float64(sub.Resyncs)
+			if sub.Dropped {
+				dropped++
+			}
+		}
+		n.SetNumber("ChangeResyncs", resyncs)
+		n.SetNumber("ChangeDroppedSubs", dropped)
 		n.OID.Seq++
 		n.OID.SeqTime = s.clock.Now()
 		n.Modified = s.clock.Now()

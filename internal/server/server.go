@@ -63,6 +63,8 @@ type Server struct {
 	cluster []*clusterPusher
 	conns   map[net.Conn]struct{}
 
+	monitor monitorState
+
 	router *router.Router
 
 	ln     net.Listener
@@ -172,6 +174,7 @@ func (s *Server) OpenDB(path string, opts core.Options) (*core.Database, error) 
 	if clustered {
 		s.hookClusterDB(key, db)
 	}
+	s.hookMonitorDB(key, db)
 	s.mu.Lock()
 	return db, nil
 }
