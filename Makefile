@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench experiments clean
+.PHONY: all build vet test race verify bench experiments bench-backup clean
 
 all: verify
 
@@ -30,6 +30,11 @@ bench:
 experiments:
 	$(GO) run ./cmd/experiments -exp W1
 	$(GO) run ./cmd/experiments -exp W2
+
+# Regenerate the backup/restore baseline (BENCH_backup.json): incremental
+# vs full image cost, hot-backup put-latency interference, restore/PITR.
+bench-backup:
+	$(GO) run ./cmd/experiments -exp W3
 
 clean:
 	$(GO) clean ./...

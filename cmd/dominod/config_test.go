@@ -93,3 +93,47 @@ func TestParseConfigErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestParseConfigBackupDirectives(t *testing.T) {
+	path := writeConf(t, `
+name  hub
+data  /tmp/data
+syncwal
+archivelog /var/walog
+backup /var/backup 6h 4
+`)
+	cfg, err := parseConfig(path)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if !cfg.syncWAL {
+		t.Error("syncwal directive ignored")
+	}
+	if cfg.archiveLog != "/var/walog" {
+		t.Errorf("archivelog = %q", cfg.archiveLog)
+	}
+	if cfg.backupDir != "/var/backup" || cfg.backupTick != 6*time.Hour || cfg.backupFullN != 4 {
+		t.Errorf("backup = %q %v %d", cfg.backupDir, cfg.backupTick, cfg.backupFullN)
+	}
+}
+
+func TestParseConfigBackupDefaultsAndErrors(t *testing.T) {
+	cfg, err := parseConfig(writeConf(t, "name x\ndata /tmp\nbackup /b 1h\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.backupFullN != 0 {
+		t.Errorf("default full cadence = %d, want 0 (always full)", cfg.backupFullN)
+	}
+	for _, body := range []string{
+		"name x\ndata /tmp\nsyncwal on\n",
+		"name x\ndata /tmp\narchivelog\n",
+		"name x\ndata /tmp\nbackup /b\n",
+		"name x\ndata /tmp\nbackup /b soon\n",
+		"name x\ndata /tmp\nbackup /b 1h -2\n",
+	} {
+		if _, err := parseConfig(writeConf(t, body)); err == nil {
+			t.Errorf("config accepted: %q", body)
+		}
+	}
+}

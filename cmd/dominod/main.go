@@ -24,6 +24,12 @@
 //	monitor 100                             # log an event every N changes per db
 //	agent  apps/tickets.nsf escalate 1m     # run a stored agent on a schedule
 //	fault  seed=7,sever=0.01,delay=0.1,maxdelay=5ms   # inject network faults
+//	syncwal                                 # fsync the WAL on every operation
+//	archivelog /var/domino/walog            # archive sealed WAL segments here
+//	backup /var/domino/backup 6h 4          # scheduled backups: root, interval,
+//	                                        # and (optionally) a full image every
+//	                                        # Nth run (incrementals between;
+//	                                        # 0 = always full)
 //
 // The fault directive (or the -fault flag, which overrides it) wraps the
 // listener in a seeded fault injector — connections randomly dropped,
@@ -69,6 +75,11 @@ type config struct {
 	monitorN    int
 	agents      []agentJob
 	faultSpec   string
+	syncWAL     bool
+	archiveLog  string
+	backupDir   string
+	backupTick  time.Duration
+	backupFullN int // a full image every Nth backup run (0 = every run)
 }
 
 type agentJob struct {
@@ -204,6 +215,31 @@ func parseConfig(path string) (*config, error) {
 				return nil, bad(err.Error())
 			}
 			cfg.faultSpec = fields[1]
+		case "syncwal":
+			if len(fields) != 1 {
+				return nil, bad("syncwal wants no arguments")
+			}
+			cfg.syncWAL = true
+		case "archivelog":
+			if len(fields) != 2 {
+				return nil, bad("archivelog wants 1 argument")
+			}
+			cfg.archiveLog = fields[1]
+		case "backup":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, bad("backup wants 2-3 arguments")
+			}
+			d, err := time.ParseDuration(fields[2])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.backupDir = fields[1]
+			cfg.backupTick = d
+			if len(fields) == 4 {
+				if _, err := fmt.Sscanf(fields[3], "%d", &cfg.backupFullN); err != nil || cfg.backupFullN < 0 {
+					return nil, bad("backup wants a non-negative full-image cadence")
+				}
+			}
 		case "agent":
 			if len(fields) != 4 {
 				return nil, bad("agent wants 3 arguments")
@@ -230,17 +266,23 @@ func main() {
 	configPath := flag.String("config", "server.conf", "configuration file")
 	faultSpec := flag.String("fault", "",
 		"network fault plan, e.g. seed=7,sever=0.01,delay=0.1,maxdelay=5ms (overrides config)")
+	syncWAL := flag.Bool("syncwal", false, "fsync the WAL on every operation (overrides config)")
 	flag.Parse()
 	cfg, err := parseConfig(*configPath)
 	if err != nil {
 		log.Fatalf("dominod: %v", err)
 	}
+	if *syncWAL {
+		cfg.syncWAL = true
+	}
 	srv, err := domino.NewServer(domino.ServerOptions{
-		Name:       cfg.name,
-		DataDir:    cfg.data,
-		Directory:  cfg.directory,
-		Peers:      cfg.peers,
-		PeerSecret: cfg.secret,
+		Name:          cfg.name,
+		DataDir:       cfg.data,
+		Directory:     cfg.directory,
+		Peers:         cfg.peers,
+		PeerSecret:    cfg.secret,
+		SyncWAL:       cfg.syncWAL,
+		ArchiveLogDir: cfg.archiveLog,
 	})
 	if err != nil {
 		log.Fatalf("dominod: %v", err)
@@ -390,6 +432,37 @@ func main() {
 						log.Printf("agent %s in %s: examined=%d selected=%d modified=%d",
 							job.name, job.dbPath, stats.Examined, stats.Selected, stats.Modified)
 					}
+				}
+			}
+		}()
+	}
+
+	// Scheduled backup task: sweep every open database into the backup
+	// root. The first run (and every Nth after it, per the cadence) cuts a
+	// full image; the runs between append incrementals chained on the USN
+	// cursor, so between fulls only the delta is copied.
+	if cfg.backupTick > 0 {
+		go func() {
+			t := time.NewTicker(cfg.backupTick)
+			defer t.Stop()
+			run := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					full := cfg.backupFullN == 0 || run%cfg.backupFullN == 0
+					run++
+					n, err := srv.BackupAll(cfg.backupDir, full)
+					kind := "incremental"
+					if full {
+						kind = "full"
+					}
+					if err != nil {
+						log.Printf("backup: %d databases (%s), first error: %v", n, kind, err)
+						continue
+					}
+					log.Printf("backup: %d databases (%s) into %s", n, kind, cfg.backupDir)
 				}
 			}
 		}()

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	domino "repro"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// --- W3: online backup and media recovery ---
+//
+// Three claims from DESIGN.md §8:
+//
+//  1. Incremental backup cost scales with the delta, not the database:
+//     an incremental image after touching k notes is a small fraction of a
+//     full image's bytes and time.
+//  2. Hot backup never blocks the commit path: Put latency while a full
+//     backup streams the page file is indistinguishable from idle.
+//  3. Restore and point-in-time recovery are fast and exact: full image +
+//     incremental chain + archived-log replay reach the requested USN.
+
+// w3Result is one measured row, serialized to BENCH_backup.json as the
+// regression baseline.
+type w3Result struct {
+	Phase     string  `json:"phase"`      // "backup", "hot-put", "restore"
+	Label     string  `json:"label"`      // row name within the phase
+	DeltaDocs int     `json:"delta_docs"` // notes touched since the previous image
+	Bytes     int64   `json:"bytes"`      // image size (backup rows)
+	Millis    float64 `json:"millis"`     // wall time of the operation
+	USN       uint64  `json:"usn"`        // USN the row ends at
+}
+
+func runW3(quick bool) {
+	docs := pick(quick, 4000, 600)
+	body := 1024
+	deltas := []int{docs / 100, docs / 20, docs / 5} // 1%, 5%, 20%
+
+	root, err := os.MkdirTemp("", "domino-w3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	arcDir := filepath.Join(root, "walog")
+	setDir := filepath.Join(root, "bak")
+	db, err := domino.Open(filepath.Join(root, "src.nsf"), domino.Options{
+		Title: "w3",
+		Store: store.Options{ArchiveDir: arcDir},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := workload.New(42)
+	corpus := seedDocs(db, g, docs, body)
+	sess := db.Session("exp")
+	var results []w3Result
+
+	// Phase 1: full image cost, then incremental cost per delta size.
+	bt := newTable("image", "delta docs", "MB", "ms", "MB vs full %")
+	start := time.Now()
+	full, err := db.Backup(setDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullMs := float64(time.Since(start).Microseconds()) / 1e3
+	results = append(results, w3Result{
+		Phase: "backup", Label: "full", DeltaDocs: docs,
+		Bytes: full.Size, Millis: fullMs, USN: full.EndUSN,
+	})
+	bt.add("full", docs, float64(full.Size)/1e6, fullMs, 100.0)
+	lastIncrUSN := full.EndUSN
+	for round, k := range deltas {
+		for i := 0; i < k; i++ {
+			n, err := sess.Get(corpus[(i*31+round*17)%len(corpus)].OID.UNID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g.Mutate(n)
+			if err := sess.Update(n); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start = time.Now()
+		img, err := db.BackupIncremental(setDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		results = append(results, w3Result{
+			Phase: "backup", Label: fmt.Sprintf("incr-%dpct", 100*k/docs),
+			DeltaDocs: k, Bytes: img.Size, Millis: ms, USN: img.EndUSN,
+		})
+		bt.add(fmt.Sprintf("incr (%d%%)", 100*k/docs), k,
+			float64(img.Size)/1e6, ms, 100*float64(img.Size)/float64(full.Size))
+		lastIncrUSN = img.EndUSN
+	}
+	bt.print()
+
+	// Phase 2: Put latency with an idle backup subsystem vs while a full
+	// backup streams the database. The hot-backup design claim is that the
+	// two distributions match — commits never wait on the copy.
+	measurePuts := func(n int) (p50, p95 float64) {
+		lats := make([]time.Duration, 0, n)
+		for _, doc := range g.Corpus(n, body) {
+			t0 := time.Now()
+			if err := sess.Create(doc); err != nil {
+				log.Fatal(err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return float64(percentile(lats, 0.50).Nanoseconds()) / 1e3,
+			float64(percentile(lats, 0.95).Nanoseconds()) / 1e3
+	}
+	putN := pick(quick, 800, 150)
+	idle50, idle95 := measurePuts(putN)
+	backupDone := make(chan error, 1)
+	go func() {
+		_, err := db.Backup(setDir)
+		backupDone <- err
+	}()
+	hot50, hot95 := measurePuts(putN)
+	if err := <-backupDone; err != nil {
+		log.Fatal(err)
+	}
+	results = append(results,
+		w3Result{Phase: "hot-put", Label: "idle", Millis: idle50 / 1e3, USN: uint64(putN)},
+		w3Result{Phase: "hot-put", Label: "during-backup", Millis: hot50 / 1e3, USN: uint64(putN)})
+	ht := newTable("writer state", "p50 µs", "p95 µs")
+	ht.add("backup idle", idle50, idle95)
+	ht.add("backup running", hot50, hot95)
+	ht.print()
+	fmt.Printf("  -> hot backup put-latency ratio p50 %.2fx (1.0 = no interference)\n",
+		hot50/idle50)
+
+	// Phase 3: restore and PITR. Write past the last image so the tail
+	// lives only in the archived log, close the source to seal it, then
+	// time three recoveries.
+	tailDocs := pick(quick, 400, 80)
+	seedDocs(db, g, tailDocs, body)
+	lastUSN := db.LastUSN()
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	rt := newTable("scenario", "target USN", "notes", "archive recs", "ms")
+	restore := func(label string, target uint64) {
+		dst := filepath.Join(root, label+".nsf")
+		start := time.Now()
+		rdb, info, err := domino.RestoreDatabase(setDir, dst,
+			domino.RestoreOptions{TargetUSN: target, ArchiveDir: arcDir}, domino.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		count := rdb.Count()
+		rdb.Close()
+		results = append(results, w3Result{
+			Phase: "restore", Label: label, DeltaDocs: count,
+			Millis: ms, USN: info.ReachedUSN,
+		})
+		rt.add(label, info.ReachedUSN, count, info.ArchiveRecords, ms)
+	}
+	restore("full-only", full.EndUSN)
+	restore("full-plus-incrementals", lastIncrUSN)
+	restore("pitr-latest", lastUSN)
+	restore("pitr-mid-archive", lastUSN-uint64(tailDocs)/2)
+	rt.print()
+
+	f, err := os.Create("BENCH_backup.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("  baseline written to BENCH_backup.json")
+}

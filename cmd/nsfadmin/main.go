@@ -12,6 +12,9 @@
 //	nsfadmin acl     DB.nsf
 //	nsfadmin verify  DB.nsf
 //	nsfadmin archive DB.nsf ARCHIVE.nsf [-cutoff 2160h]
+//	nsfadmin backup  DB.nsf SETDIR [-incremental]
+//	nsfadmin restore SETDIR TARGET.nsf [-usn N] [-archive DIR]
+//	nsfadmin verifybackup SETDIR [-archive DIR]
 package main
 
 import (
@@ -26,10 +29,24 @@ import (
 
 func main() {
 	if len(os.Args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify> DB.nsf [flags]")
+		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify|archive|backup|restore|verifybackup> DB.nsf [flags]")
 		os.Exit(2)
 	}
 	cmd, path, rest := os.Args[1], os.Args[2], os.Args[3:]
+	// restore and verifybackup operate on a backup set, not an open
+	// database (restore's target must not even exist yet).
+	switch cmd {
+	case "restore":
+		if err := cmdRestore(path, rest); err != nil {
+			log.Fatalf("nsfadmin: %v", err)
+		}
+		return
+	case "verifybackup":
+		if err := cmdVerifyBackup(path, rest); err != nil {
+			log.Fatalf("nsfadmin: %v", err)
+		}
+		return
+	}
 	if _, err := os.Stat(path); err != nil {
 		log.Fatalf("nsfadmin: %v", err)
 	}
@@ -56,6 +73,8 @@ func main() {
 		err = cmdVerify(db)
 	case "archive":
 		err = cmdArchive(db, rest)
+	case "backup":
+		err = cmdBackup(db, rest)
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -205,6 +224,77 @@ func cmdArchive(db *domino.Database, args []string) error {
 	fmt.Printf("archived %d documents (%d already present) older than %s into %s\n",
 		stats.Moved, stats.Skipped, cutoff, dstPath)
 	return nil
+}
+
+func cmdBackup(db *domino.Database, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("backup: backup set directory required")
+	}
+	setDir, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	incremental := fs.Bool("incremental", false,
+		"append an incremental image (changes since the set's newest image) instead of a full one")
+	fs.Parse(rest)
+	var (
+		img domino.BackupImage
+		err error
+	)
+	if *incremental {
+		img, err = db.BackupIncremental(setDir)
+	} else {
+		img, err = db.Backup(setDir)
+	}
+	if err != nil {
+		return err
+	}
+	kind := "full"
+	if img.Kind == domino.BackupKindIncremental {
+		kind = "incremental"
+	}
+	fmt.Printf("%s image seq %d: USN %d..%d, %d bytes -> %s\n",
+		kind, img.Seq, img.BaseUSN, img.EndUSN, img.Size, img.Path)
+	return nil
+}
+
+func cmdRestore(setDir string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("restore: target database path required")
+	}
+	target, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	usn := fs.Uint64("usn", 0, "point-in-time recovery target USN (0 = everything available)")
+	archive := fs.String("archive", "", "archived WAL segment directory for roll-forward")
+	fs.Parse(rest)
+	db, info, err := domino.RestoreDatabase(setDir, target,
+		domino.RestoreOptions{TargetUSN: *usn, ArchiveDir: *archive}, domino.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("restored %s through USN %d (%d images, %d notes from incrementals, %d archived records)\n",
+		target, info.ReachedUSN, info.Images, info.Notes, info.ArchiveRecords)
+	fmt.Printf("title: %s  replica id: %s  notes: %d\n", db.Title(), db.ReplicaID(), db.Count())
+	return nil
+}
+
+func cmdVerifyBackup(setDir string, args []string) error {
+	fs := flag.NewFlagSet("verifybackup", flag.ExitOnError)
+	archive := fs.String("archive", "", "also verify this archived WAL segment directory")
+	fs.Parse(args)
+	r, err := domino.VerifyBackupSet(setDir, *archive)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checked %d images (%d incremental notes), %d archive segments (%d records)\n",
+		r.Images, r.Notes, r.Segments, r.ArchiveRecords)
+	if r.OK() {
+		fmt.Println("backup set is sound")
+		return nil
+	}
+	for _, p := range r.Problems {
+		fmt.Println("PROBLEM:", p)
+	}
+	return fmt.Errorf("%d problems found", len(r.Problems))
 }
 
 func cmdACL(db *domino.Database) error {

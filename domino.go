@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/agent"
+	"repro/internal/backup"
 	"repro/internal/changefeed"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -237,6 +238,43 @@ func DialOptions(addr, user, secret string, opts ClientOptions) (*Client, error)
 // RetryableError reports whether err is a transient transport failure that
 // a retry on a fresh connection may cure (server-reported errors are not).
 func RetryableError(err error) bool { return wire.Retryable(err) }
+
+// Backup and media recovery.
+type (
+	// BackupImage describes one image in a backup set.
+	BackupImage = backup.ImageInfo
+	// BackupSet is a loaded backup set (a directory of chained images).
+	BackupSet = backup.Set
+	// RestoreOptions select the point-in-time recovery target.
+	RestoreOptions = backup.RestoreOptions
+	// RestoreInfo reports what a restore did.
+	RestoreInfo = backup.RestoreInfo
+	// BackupVerifyResult reports an offline backup-set integrity pass.
+	BackupVerifyResult = backup.VerifyResult
+)
+
+// Backup image kinds.
+const (
+	BackupKindFull        = backup.KindFull
+	BackupKindIncremental = backup.KindIncremental
+)
+
+// RestoreDatabase rebuilds a database at targetPath from the backup set at
+// setDir — optionally rolling forward over archived WAL segments to a
+// target USN — and opens it.
+func RestoreDatabase(setDir, targetPath string, ropts RestoreOptions, opts Options) (*Database, RestoreInfo, error) {
+	return core.Restore(setDir, targetPath, ropts, opts)
+}
+
+// VerifyBackupSet runs an offline integrity pass over a backup set (and,
+// when archiveDir is non-empty, its log archive).
+func VerifyBackupSet(setDir, archiveDir string) (*BackupVerifyResult, error) {
+	return backup.VerifySet(setDir, archiveDir)
+}
+
+// OpenBackupSet loads the backup set in a directory (images sorted in
+// chain order) without verifying bodies.
+func OpenBackupSet(setDir string) (*BackupSet, error) { return backup.OpenSet(setDir) }
 
 // Agents.
 type (

@@ -112,10 +112,20 @@ type Feed struct {
 // New returns an empty feed retaining the last capacity entries
 // (DefaultCapacity when capacity <= 0).
 func New(capacity int) *Feed {
+	return NewFrom(capacity, 0)
+}
+
+// NewFrom returns an empty feed whose next append is stamped last+1.
+// A database opening an existing store seeds the feed with the store's
+// persistent USN, so feed USNs and store USNs are the same sequence across
+// restarts — the invariant backup cursors and subscriber checkpoints rely
+// on. The ring holds no entries at or below last: subscribers start at the
+// head, and anything older is the store's (and archive's) business.
+func NewFrom(capacity int, last uint64) *Feed {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	f := &Feed{capacity: uint64(capacity), buf: make([]Entry, capacity)}
+	f := &Feed{capacity: uint64(capacity), buf: make([]Entry, capacity), last: last}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }

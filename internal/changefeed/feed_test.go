@@ -252,3 +252,27 @@ func TestConcurrentAppendersAndBarriers(t *testing.T) {
 	}
 	f.Close()
 }
+
+// TestNewFromSeedsSequence checks that a feed seeded at a nonzero USN
+// continues that sequence: the first append is seed+1, barriers work, and
+// subscribers (who start at the head) see only post-seed entries.
+func TestNewFromSeedsSequence(t *testing.T) {
+	f := NewFrom(8, 100)
+	defer f.Close()
+	if got := f.LastUSN(); got != 100 {
+		t.Fatalf("seeded LastUSN = %d, want 100", got)
+	}
+	var first, count atomic.Uint64
+	f.Subscribe("tail", Funcs{ApplyFunc: func(e Entry) {
+		first.CompareAndSwap(0, e.USN)
+		count.Add(1)
+	}})
+	if usn := f.Append(Put, unid(1), nil); usn != 101 {
+		t.Fatalf("first append after seed = USN %d, want 101", usn)
+	}
+	f.Append(Delete, unid(1), nil)
+	f.WaitForUSN(102)
+	if first.Load() != 101 || count.Load() != 2 {
+		t.Fatalf("subscriber saw first=%d count=%d, want 101/2", first.Load(), count.Load())
+	}
+}

@@ -103,7 +103,12 @@ func Open(path string, opts Options) (*Database, error) {
 		clock: ck,
 		dirs:  opts.Directory,
 		views: make(map[string]*view.Index),
-		feed:  changefeed.New(opts.FeedCapacity),
+		// Seed the feed with the store's persistent USN so feed USNs and
+		// store USNs are one sequence across restarts: every store commit
+		// under wmu is followed by exactly one feed append, so the two
+		// counters advance in lockstep from here on. Backup cursors and the
+		// refresh barrier both rely on this alignment.
+		feed: changefeed.NewFrom(opts.FeedCapacity, st.LastUSN()),
 	}
 	if err := db.loadDesign(); err != nil {
 		st.Close()

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/backup"
+	"repro/internal/core"
+	"repro/internal/dir"
+	"repro/internal/nsf"
+)
+
+func newBackupServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	d := dir.New()
+	d.AddUser(dir.User{Name: "ada", Secret: "ada-pw"})
+	root := t.TempDir()
+	srv, err := New(Options{
+		Name: "hub", DataDir: filepath.Join(root, "data"),
+		Directory:     d,
+		SyncWAL:       true,
+		ArchiveLogDir: filepath.Join(root, "walarchive"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, root
+}
+
+// TestServerBackupRestoreAndCatalog exercises the admin surface: BackupDB
+// full + incremental into the per-database set dir, the catalog's
+// last-backup fields, and RestoreDB bringing a database back under the
+// server.
+func TestServerBackupRestoreAndCatalog(t *testing.T) {
+	srv, root := newBackupServer(t)
+	db, err := srv.OpenDB("apps/notes.nsf", core.Options{Title: "Notes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Session("ada")
+	for i := 0; i < 6; i++ {
+		n := nsf.NewNote(nsf.ClassDocument)
+		n.SetText("Form", "Memo")
+		n.SetText("Subject", fmt.Sprintf("m-%d", i))
+		if err := s.Create(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bakRoot := filepath.Join(root, "backups")
+	img, err := srv.BackupDB("apps/notes.nsf", bakRoot, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Kind != backup.KindFull || img.EndUSN != db.LastUSN() {
+		t.Fatalf("full image %+v, db at USN %d", img.Header, db.LastUSN())
+	}
+	bs, ok := srv.LastBackup("apps/notes.nsf")
+	if !ok || bs.USN != img.EndUSN || bs.Kind != backup.KindFull {
+		t.Fatalf("LastBackup = %+v, %v", bs, ok)
+	}
+
+	// One more write, then an incremental via BackupAll.
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Form", "Memo")
+	n.SetText("Subject", "late")
+	if err := s.Create(n); err != nil {
+		t.Fatal(err)
+	}
+	count, err := srv.BackupAll(bakRoot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 1 {
+		t.Fatalf("BackupAll backed up %d databases", count)
+	}
+	bs, _ = srv.LastBackup("apps/notes.nsf")
+	if bs.Kind != backup.KindIncremental || bs.USN != db.LastUSN() {
+		t.Fatalf("after incremental: %+v, db at USN %d", bs, db.LastUSN())
+	}
+
+	// The catalog reports the last-backup USN and a fresh age.
+	if _, err := srv.RefreshCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := srv.DB(CatalogPath)
+	found := false
+	cat.ScanAll(func(doc *nsf.Note) bool {
+		if doc.Text("Path") != "apps/notes.nsf" {
+			return true
+		}
+		found = true
+		if usn := doc.Number("BackupUSN"); uint64(usn) != bs.USN {
+			t.Errorf("catalog BackupUSN = %v, want %d", usn, bs.USN)
+		}
+		if age := doc.Number("BackupAgeSecs"); age < 0 || age > 3600 {
+			t.Errorf("catalog BackupAgeSecs = %v", age)
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no catalog doc for apps/notes.nsf")
+	}
+
+	// Verify the set offline, with the server's archive directory.
+	setDir := bs.SetDir
+	r, err := backup.VerifySet(setDir, srv.ArchiveDirFor("apps/notes.nsf"))
+	if err != nil || !r.OK() {
+		t.Fatalf("verify: err=%v problems=%v", err, r.Problems)
+	}
+
+	// RestoreDB refuses to clobber an open database, then restores to a
+	// fresh path the server opens and serves.
+	if _, err := srv.RestoreDB("apps/notes.nsf", setDir, backup.RestoreOptions{}); err == nil {
+		t.Fatal("RestoreDB overwrote an open database")
+	}
+	info, err := srv.RestoreDB("apps/notes2.nsf", setDir, backup.RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReachedUSN != bs.USN {
+		t.Fatalf("restore reached USN %d, want %d", info.ReachedUSN, bs.USN)
+	}
+	db2, ok := srv.DB("apps/notes2.nsf")
+	if !ok {
+		t.Fatal("restored database not open under the server")
+	}
+	if db2.Count() != db.Count() || db2.ReplicaID() != db.ReplicaID() {
+		t.Fatalf("restored db: count %d/%d replica %v/%v",
+			db2.Count(), db.Count(), db2.ReplicaID(), db.ReplicaID())
+	}
+}
+
+// TestCatalogReportsNeverBackedUp checks the catalog sentinel for a
+// database with no backup this run.
+func TestCatalogReportsNeverBackedUp(t *testing.T) {
+	srv, _ := newBackupServer(t)
+	if _, err := srv.OpenDB("plain.nsf", core.Options{Title: "Plain"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RefreshCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := srv.DB(CatalogPath)
+	checked := false
+	cat.ScanAll(func(doc *nsf.Note) bool {
+		if doc.Text("Path") != "plain.nsf" {
+			return true
+		}
+		checked = true
+		if doc.Number("BackupUSN") != 0 || doc.Number("BackupAgeSecs") != -1 {
+			t.Errorf("never-backed-up sentinel: USN=%v age=%v",
+				doc.Number("BackupUSN"), doc.Number("BackupAgeSecs"))
+		}
+		return true
+	})
+	if !checked {
+		t.Fatal("no catalog doc for plain.nsf")
+	}
+}

@@ -79,6 +79,16 @@ func (s *Server) RefreshCatalog() (int, error) {
 		}
 		n.SetNumber("ChangeResyncs", resyncs)
 		n.SetNumber("ChangeDroppedSubs", dropped)
+		// Backup health: the USN the newest image captured and how stale it
+		// is. BackupAgeSecs is -1 for a database never backed up this run —
+		// the monitorable "this database has no recent backup" signal.
+		if bs, ok := s.LastBackup(path); ok {
+			n.SetNumber("BackupUSN", float64(bs.USN))
+			n.SetNumber("BackupAgeSecs", float64(s.clock.Now()-bs.At)/1e9)
+		} else {
+			n.SetNumber("BackupUSN", 0)
+			n.SetNumber("BackupAgeSecs", -1)
+		}
 		n.OID.Seq++
 		n.OID.SeqTime = s.clock.Now()
 		n.Modified = s.clock.Now()

@@ -51,6 +51,14 @@ type Options struct {
 	// WriteTimeout bounds writing one response frame. 0 uses the 30s
 	// default; negative disables the deadline.
 	WriteTimeout time.Duration
+	// SyncWAL fsyncs every database's WAL on every operation (per-database
+	// store options can also turn this on individually).
+	SyncWAL bool
+	// ArchiveLogDir, when non-empty, turns on WAL archiving for every
+	// database the server opens: each database's sealed log segments go to
+	// <ArchiveLogDir>/<dbpath>.walog, preserving complete history for
+	// incremental backup verification and point-in-time recovery.
+	ArchiveLogDir string
 }
 
 // Server is a running Domino-style server.
@@ -62,6 +70,7 @@ type Server struct {
 	dbs     map[string]*core.Database
 	cluster []*clusterPusher
 	conns   map[net.Conn]struct{}
+	backups map[string]BackupStatus
 
 	monitor monitorState
 
@@ -164,6 +173,12 @@ func (s *Server) OpenDB(path string, opts core.Options) (*core.Database, error) 
 	}
 	opts.Directory = s.opts.Directory
 	opts.Clock = s.clock
+	if s.opts.SyncWAL {
+		opts.Store.SyncWAL = true
+	}
+	if s.opts.ArchiveLogDir != "" && opts.Store.ArchiveDir == "" {
+		opts.Store.ArchiveDir = s.archiveDirFor(key)
+	}
 	db, err := core.Open(full, opts)
 	if err != nil {
 		return nil, err

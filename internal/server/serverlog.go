@@ -21,6 +21,7 @@ const (
 	LogReplication = "replication"
 	LogRouting     = "routing"
 	LogAdmin       = "admin"
+	LogBackup      = "backup"
 )
 
 // LogEvent appends an event document to log.nsf. Items beyond the standard

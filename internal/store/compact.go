@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/nsf"
 )
@@ -65,13 +66,17 @@ func (s *Store) Compact() (int, error) {
 			return 0, err
 		}
 	}
-	// Preserve the allocation high-water mark so future NoteIDs never
-	// collide with ones handed out before compaction.
+	// Preserve the allocation high-water marks: future NoteIDs never
+	// collide with ones handed out before compaction, and the USN stream
+	// continues where the original left off (the copy loop above burned
+	// fresh-store USNs that mean nothing — overwrite them).
 	fresh.mu.Lock()
 	if fresh.pg.nextNoteID < s.pg.nextNoteID {
 		fresh.pg.nextNoteID = s.pg.nextNoteID
 		fresh.pg.hdrDirty = true
 	}
+	fresh.usn = s.usn
+	fresh.modHigh = s.modHigh
 	fresh.mu.Unlock()
 	if err := fresh.Checkpoint(); err != nil {
 		cleanupFresh()
@@ -82,6 +87,9 @@ func (s *Store) Compact() (int, error) {
 		cleanupFresh()
 		return 0, err
 	}
+	// The checkpoint above fsynced both temp files (page-file flush and WAL
+	// reset both sync), so their contents are durable before the renames
+	// make them visible.
 	// Swap the files in. Rename is atomic per file; a crash between the two
 	// renames leaves a fresh page file with a stale WAL, which reset-on-
 	// checkpoint made empty above, so recovery is still correct.
@@ -93,6 +101,12 @@ func (s *Store) Compact() (int, error) {
 	}
 	if err := os.Rename(tmpPath+".wal", s.path+".wal"); err != nil {
 		return 0, fmt.Errorf("store: swap compacted wal: %w", err)
+	}
+	// Make the rename pair durable: without a directory fsync a power loss
+	// here could surface the old page file next to the new WAL (or neither
+	// rename), a resurrect-prone half-swapped store.
+	if err := syncDir(filepath.Dir(s.path)); err != nil {
+		return 0, err
 	}
 	// Reopen in place.
 	pg, err := openPager(s.path, s.pg.replicaID, s.pg.title, s.pg.created, s.opts.CacheCap)

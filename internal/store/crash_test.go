@@ -1,9 +1,11 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -136,4 +138,109 @@ func runCrashFuzz(t *testing.T, seed int64) {
 	if s3.Count() != len(model)+1 {
 		t.Fatalf("second recovery count = %d, want %d", s3.Count(), len(model)+1)
 	}
+}
+
+// crashedWALStore writes n notes without checkpointing and abandons the
+// store, returning the page-file path so tests can damage the WAL before
+// recovery.
+func crashedWALStore(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "torn.nsf")
+	s, err := Open(path, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		note := nsf.NewNote(nsf.ClassDocument)
+		note.OID.Seq = 1
+		note.OID.SeqTime = nsf.Timestamp(i + 1)
+		note.Modified = nsf.Timestamp(i + 1)
+		note.SetText("Subject", fmt.Sprintf("wal-doc-%d", i))
+		if err := s.Put(note); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path // no Close: crash with everything in the WAL
+}
+
+// checkRecoveredPrefix opens the damaged store and asserts recovery kept
+// exactly the first `keep` notes, stayed usable, and never panicked.
+func checkRecoveredPrefix(t *testing.T, path string, keep int) {
+	t.Helper()
+	s, err := Open(path, Options{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery after WAL damage: %v", err)
+	}
+	defer s.Close()
+	if got := s.Count(); got != keep {
+		t.Fatalf("recovered %d notes, want the %d before the damage", got, keep)
+	}
+	if got := s.LastUSN(); got != uint64(keep) {
+		t.Fatalf("recovered USN %d, want %d", got, keep)
+	}
+	subjects := make(map[string]bool)
+	s.ScanAll(func(n *nsf.Note) bool {
+		subjects[n.Text("Subject")] = true
+		return true
+	})
+	for i := 0; i < keep; i++ {
+		if !subjects[fmt.Sprintf("wal-doc-%d", i)] {
+			t.Fatalf("doc %d missing after recovery", i)
+		}
+	}
+	for i := keep; i < keep+3; i++ {
+		if subjects[fmt.Sprintf("wal-doc-%d", i)] {
+			t.Fatalf("doc %d resurrected from damaged WAL region", i)
+		}
+	}
+	// The store keeps working after damage recovery.
+	note := nsf.NewNote(nsf.ClassDocument)
+	note.OID.Seq = 1
+	note.OID.SeqTime = nsf.Timestamp(keep + 1000)
+	note.Modified = nsf.Timestamp(keep + 1000)
+	note.SetText("Subject", "post-damage")
+	if err := s.Put(note); err != nil {
+		t.Fatalf("Put after damaged-WAL recovery: %v", err)
+	}
+	if got := s.LastUSN(); got != uint64(keep)+1 {
+		t.Fatalf("USN after post-damage Put = %d, want %d", got, keep+1)
+	}
+}
+
+// TestCrashTornWALTail truncates the WAL mid-frame (a torn write at power
+// loss) and requires recovery to keep the intact prefix.
+func TestCrashTornWALTail(t *testing.T) {
+	path := crashedWALStore(t, 10)
+	walPath := path + ".wal"
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredPrefix(t, path, 9)
+}
+
+// TestCrashBitFlippedWALCRC flips one payload byte in a middle frame (media
+// corruption). Recovery must stop at the last frame before the flip —
+// treating everything after as a torn tail — rather than applying records
+// past a corrupt one or panicking.
+func TestCrashBitFlippedWALCRC(t *testing.T) {
+	path := crashedWALStore(t, 10)
+	walPath := path + ".wal"
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the 6th frame, flip a byte inside its payload.
+	off := int64(0)
+	for i := 0; i < 5; i++ {
+		off += 8 + int64(binary.LittleEndian.Uint32(raw[off:]))
+	}
+	raw[off+8+15] ^= 0x04
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checkRecoveredPrefix(t, path, 5)
 }

@@ -31,6 +31,8 @@ const (
 //	40   8     replica ID
 //	48   8     created timestamp
 //	56   2     title length, followed by title bytes (max 256)
+//	320  8     last USN folded into the page file by the last checkpoint
+//	           (zero in pre-USN files, which reads back as "no changes yet")
 const (
 	hdrOffVersion  = 8
 	hdrOffPageSize = 12
@@ -43,6 +45,7 @@ const (
 	hdrOffReplica  = 40
 	hdrOffCreated  = 48
 	hdrOffTitle    = 56
+	hdrOffLastUSN  = 320
 	maxTitleLen    = 256
 )
 
@@ -61,6 +64,7 @@ type pager struct {
 	replicaID  nsf.ReplicaID
 	created    nsf.Timestamp
 	title      string
+	lastUSN    uint64
 	hdrDirty   bool
 }
 
@@ -135,6 +139,7 @@ func (p *pager) loadHeader() error {
 		return fmt.Errorf("store: corrupt header title length %d", tl)
 	}
 	p.title = string(buf[hdrOffTitle+2 : hdrOffTitle+2+tl])
+	p.lastUSN = binary.LittleEndian.Uint64(buf[hdrOffLastUSN:])
 	return nil
 }
 
@@ -156,6 +161,7 @@ func (p *pager) flushHeader() error {
 	binary.LittleEndian.PutUint64(buf[hdrOffCreated:], uint64(p.created))
 	binary.LittleEndian.PutUint16(buf[hdrOffTitle:], uint16(len(p.title)))
 	copy(buf[hdrOffTitle+2:], p.title)
+	binary.LittleEndian.PutUint64(buf[hdrOffLastUSN:], p.lastUSN)
 	if _, err := p.f.WriteAt(buf[:], 0); err != nil {
 		return fmt.Errorf("store: write header: %w", err)
 	}

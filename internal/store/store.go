@@ -35,6 +35,12 @@ type Options struct {
 	CheckpointEvery int
 	// CacheCap bounds the buffer pool in pages (0 = default).
 	CacheCap int
+	// ArchiveDir, when non-empty, turns on log archiving: at every
+	// checkpoint the sealed WAL contents are rotated into this directory as
+	// a CRC-framed segment file instead of being discarded, preserving the
+	// complete operation history for incremental backup verification and
+	// point-in-time recovery. The directory is created if missing.
+	ArchiveDir string
 	// QuotaBytes caps the database file size; writes that would grow the
 	// file past the quota fail with ErrQuotaExceeded (reads, deletes, and
 	// in-place updates that do not grow the file still work). Zero means
@@ -58,6 +64,23 @@ type Store struct {
 	count           int // live notes (including stubs)
 	sinceCheckpoint int
 	closed          bool
+
+	// usn is the update sequence number of the last committed operation.
+	// It is dense (every Put/Delete advances it by one), persisted in the
+	// header at checkpoints, and recovered exactly by WAL replay — the
+	// cursor backups and point-in-time recovery are built on.
+	usn uint64
+	// modHigh is the high-water Modified timestamp over all notes ever
+	// stored — the incremental-backup cursor. Monotone even when the
+	// newest note is later hard-deleted.
+	modHigh nsf.Timestamp
+	// nextSegSeq numbers the next archived WAL segment (when archiving).
+	nextSegSeq uint32
+	// ckHold suspends checkpoints while a hot backup copies the page file
+	// (writes keep appending to the WAL); ckDeferred remembers that a
+	// checkpoint came due during the hold.
+	ckHold     int
+	ckDeferred bool
 }
 
 // Open opens or creates the database at path (page file) with a companion
@@ -83,6 +106,12 @@ func Open(path string, opts Options) (*Store, error) {
 	s.byID = &btree{pg: pg, slot: rootSlotByID}
 	s.byUNID = &btree{pg: pg, slot: rootSlotByUNID}
 	s.byMod = &btree{pg: pg, slot: rootSlotByMod}
+	if opts.ArchiveDir != "" {
+		if err := s.initArchive(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
 	if err := s.recover(); err != nil {
 		s.closeFiles()
 		return nil, err
@@ -101,9 +130,24 @@ func (s *Store) recover() error {
 		return err
 	}
 	s.count = n
+	s.usn = s.pg.lastUSN
+	// Recover the modification high-water mark from the byMod index (WAL
+	// replay below advances it past the checkpoint).
+	err = s.byMod.Ascend(nil, func(k, _ []byte) bool {
+		if t := nsf.Timestamp(binary.BigEndian.Uint64(k)); t > s.modHigh {
+			s.modHigh = t
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
 	replayed := 0
 	err = s.wal.replay(func(rec walRecord) error {
 		replayed++
+		if rec.USN > s.usn {
+			s.usn = rec.USN
+		}
 		switch rec.Kind {
 		case walPut:
 			note, err := nsf.DecodeNote(rec.Payload)
@@ -130,11 +174,11 @@ func (s *Store) recover() error {
 	}
 	if replayed > 0 {
 		// Fold the replayed tail into a fresh checkpoint so the WAL shrinks
-		// and a second crash replays nothing twice.
-		if err := s.pg.flush(); err != nil {
-			return err
-		}
-		if err := s.wal.reset(); err != nil {
+		// and a second crash replays nothing twice. (With archiving on this
+		// also seals the replayed records into a segment; a crash between
+		// sealing and the reset re-seals them, which the archive reader
+		// tolerates because replay skips already-applied USNs.)
+		if err := s.checkpointLocked(); err != nil {
 			return err
 		}
 	}
@@ -229,9 +273,10 @@ func (s *Store) Put(n *nsf.Note) error {
 			return fmt.Errorf("%w: file would reach %d bytes (quota %d)", ErrQuotaExceeded, projected, q)
 		}
 	}
-	if err := s.wal.append(walPut, enc, s.opts.SyncWAL); err != nil {
+	if err := s.wal.append(walPut, s.usn+1, enc, s.opts.SyncWAL); err != nil {
 		return err
 	}
+	s.usn++
 	if err := s.applyPutEncoded(n, enc); err != nil {
 		return err
 	}
@@ -286,6 +331,9 @@ func (s *Store) applyPutEncoded(n *nsf.Note, enc []byte) error {
 	if err := s.byMod.Put(modKey(n.Modified, n.ID), nil); err != nil {
 		return err
 	}
+	if n.Modified > s.modHigh {
+		s.modHigh = n.Modified
+	}
 	s.count++
 	return nil
 }
@@ -300,9 +348,10 @@ func (s *Store) Delete(unid nsf.UNID) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
-	if err := s.wal.append(walDelete, unid[:], s.opts.SyncWAL); err != nil {
+	if err := s.wal.append(walDelete, s.usn+1, unid[:], s.opts.SyncWAL); err != nil {
 		return err
 	}
+	s.usn++
 	if err := s.applyDelete(unid); err != nil {
 		return err
 	}
@@ -453,7 +502,8 @@ func (s *Store) maybeCheckpoint() error {
 	return s.checkpointLocked()
 }
 
-// Checkpoint flushes all dirty pages and truncates the WAL.
+// Checkpoint flushes all dirty pages and truncates the WAL (sealing it into
+// the archive first when log archiving is on).
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -461,6 +511,22 @@ func (s *Store) Checkpoint() error {
 }
 
 func (s *Store) checkpointLocked() error {
+	if s.ckHold > 0 {
+		// A hot backup is copying the page file: the file must not change
+		// under the copy. The checkpoint runs when the hold is released
+		// (or, after a crash, recovery replays the intact WAL).
+		s.ckDeferred = true
+		return nil
+	}
+	// Seal the WAL into the archive before touching the page file: if we
+	// crash after sealing, recovery replays the intact WAL and re-seals
+	// (overlap the archive reader skips); if we crash after the flush but
+	// before the reset, likewise. Log history is never lost.
+	if err := s.sealWALLocked(); err != nil {
+		return err
+	}
+	s.pg.lastUSN = s.usn
+	s.pg.hdrDirty = true
 	if err := s.pg.flush(); err != nil {
 		return err
 	}
@@ -468,7 +534,36 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	s.sinceCheckpoint = 0
+	s.ckDeferred = false
 	return nil
+}
+
+// LastUSN returns the update sequence number of the last committed
+// operation. USNs are dense, persistent, and recovered exactly by crash
+// recovery.
+func (s *Store) LastUSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usn
+}
+
+// ModHigh returns the high-water Modified timestamp over every note ever
+// stored — the cursor incremental backups scan from.
+func (s *Store) ModHigh() nsf.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.modHigh
+}
+
+// AdvanceUSN raises the store's USN to at least usn without logging an
+// operation. Restore uses it after applying a backup image so subsequent
+// point-in-time log replay lines up with the image's cursor.
+func (s *Store) AdvanceUSN(usn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if usn > s.usn {
+		s.usn = usn
+	}
 }
 
 // Stats reports storage statistics.
@@ -477,6 +572,9 @@ type Stats struct {
 	Pages      int
 	DirtyPages int
 	WALBytes   int64
+	// LastUSN is the update sequence number of the last committed
+	// operation (persistent across reopens).
+	LastUSN uint64
 }
 
 // Stats returns current storage statistics.
@@ -488,6 +586,7 @@ func (s *Store) Stats() Stats {
 		Pages:      int(s.pg.pageCount),
 		DirtyPages: s.pg.dirtyCount(),
 		WALBytes:   s.wal.size,
+		LastUSN:    s.usn,
 	}
 }
 

@@ -15,18 +15,22 @@ const (
 	walDelete = 2 // payload: 16-byte UNID
 )
 
-// walRecord is one logical operation in the log.
+// walRecord is one logical operation in the log. Every record carries the
+// database-wide update sequence number (USN) assigned at commit, so
+// archived log segments can be replayed to an exact point in time.
 type walRecord struct {
 	Kind    byte
+	USN     uint64
 	Payload []byte
 }
 
 // wal is an append-only log of note-level operations since the last
 // checkpoint. Each record is framed as:
 //
-//	length  uint32  (kind + payload)
-//	crc32   uint32  (castagnoli, over kind + payload)
+//	length  uint32  (kind + usn + payload)
+//	crc32   uint32  (castagnoli, over kind + usn + payload)
 //	kind    byte
+//	usn     uint64  (little-endian)
 //	payload bytes
 //
 // Replay stops at the first torn or corrupt record, which by write ordering
@@ -52,20 +56,31 @@ func openWAL(path string) (*wal, error) {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// frameOverhead is the framing cost per record: length + crc + kind + usn.
+const frameOverhead = 8 + 1 + 8
+
+// appendFrame encodes one record into buf (reused across calls).
+func appendFrame(buf []byte, kind byte, usn uint64, payload []byte) []byte {
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:], usn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(9+len(payload)))
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
 // append writes one record at the current tail. If sync is true the log is
 // fsynced before returning, making the operation durable.
-func (w *wal) append(kind byte, payload []byte, sync bool) error {
-	need := 8 + 1 + len(payload)
+func (w *wal) append(kind byte, usn uint64, payload []byte, sync bool) error {
+	need := frameOverhead + len(payload)
 	if cap(w.buf) < need {
 		w.buf = make([]byte, 0, need*2)
 	}
-	buf := w.buf[:0]
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(payload)))
-	crc := crc32.Checksum([]byte{kind}, crcTable)
-	crc = crc32.Update(crc, crcTable, payload)
-	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	buf = append(buf, kind)
-	buf = append(buf, payload...)
+	buf := appendFrame(w.buf[:0], kind, usn, payload)
 	if _, err := w.f.WriteAt(buf, w.size); err != nil {
 		return fmt.Errorf("store: append wal: %w", err)
 	}
@@ -79,43 +94,61 @@ func (w *wal) append(kind byte, payload []byte, sync bool) error {
 	return nil
 }
 
+// scanFrames reads CRC-framed records from r (at most size bytes) and calls
+// fn for every intact one. It returns the byte count consumed by intact
+// frames and whether the stream ended cleanly at a frame boundary; a torn or
+// corrupt frame stops the scan with clean=false but no error. Errors from fn
+// abort the scan. Shared by WAL replay and the archived-segment reader, so
+// both stop at the first bad frame instead of resurrecting or panicking.
+func scanFrames(r io.Reader, size int64, fn func(rec walRecord) error) (consumed int64, clean bool, err error) {
+	var hdr [8]byte
+	offset := int64(0)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return offset, true, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, false, nil
+			}
+			return offset, false, fmt.Errorf("store: read log header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length < 9 || int64(length) > size-offset-8 {
+			return offset, false, nil // torn tail
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return offset, false, nil
+			}
+			return offset, false, fmt.Errorf("store: read log body: %w", err)
+		}
+		if crc32.Checksum(body, crcTable) != wantCRC {
+			return offset, false, nil
+		}
+		rec := walRecord{
+			Kind:    body[0],
+			USN:     binary.LittleEndian.Uint64(body[1:9]),
+			Payload: body[9:],
+		}
+		if err := fn(rec); err != nil {
+			return offset, false, err
+		}
+		offset += 8 + int64(length)
+	}
+}
+
 // replay invokes fn for every intact record from the start of the log. A
 // torn tail (truncated or CRC-mismatched final record) ends replay without
 // error; any earlier corruption is also treated as a torn tail because
 // records are written strictly in order.
 func (w *wal) replay(fn func(rec walRecord) error) error {
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: seek wal: %w", err)
-	}
 	r := io.NewSectionReader(w.f, 0, w.size)
-	var hdr [8]byte
-	offset := int64(0)
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				break
-			}
-			return fmt.Errorf("store: read wal header: %w", err)
-		}
-		length := binary.LittleEndian.Uint32(hdr[:4])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if length == 0 || int64(length) > w.size-offset-8 {
-			break // torn tail
-		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(r, body); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				break
-			}
-			return fmt.Errorf("store: read wal body: %w", err)
-		}
-		if crc32.Checksum(body, crcTable) != wantCRC {
-			break // torn tail
-		}
-		if err := fn(walRecord{Kind: body[0], Payload: body[1:]}); err != nil {
-			return err
-		}
-		offset += 8 + int64(length)
+	offset, _, err := scanFrames(r, w.size, fn)
+	if err != nil {
+		return err
 	}
 	// Forget any torn tail so subsequent appends start from intact state.
 	if offset != w.size {
@@ -125,6 +158,17 @@ func (w *wal) replay(fn func(rec walRecord) error) error {
 		w.size = offset
 	}
 	return nil
+}
+
+// readAll returns a copy of the current log contents (the tail since the
+// last checkpoint) — the piece a hot backup captures alongside the page
+// file snapshot.
+func (w *wal) readAll() ([]byte, error) {
+	buf := make([]byte, w.size)
+	if _, err := w.f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("store: read wal: %w", err)
+	}
+	return buf, nil
 }
 
 // reset truncates the log after a checkpoint has made its contents redundant.
