@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench experiments bench-backup clean
+.PHONY: all build vet test race stress verify bench experiments bench-backup bench-readpath clean
 
 all: verify
 
@@ -19,8 +19,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the tier-1 gate: build, vet, full tests, and the race detector.
-verify: build vet test race
+# Short -race stress pass over the concurrency regression tests: the
+# versioned-write races (lost Seq updates, RawPut orphaning, replication
+# history forks) and the snapshot-scan/reader-writer latching tests.
+stress:
+	$(GO) test -race -count=2 \
+		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter' \
+		./internal/core ./internal/repl ./internal/store
+
+# verify is the tier-1 gate: build, vet, full tests, the race detector, and
+# the concurrency stress pass.
+verify: build vet test race stress
 
 # Write-path benchmark suite (changefeed: latency vs open consumers).
 bench:
@@ -35,6 +44,12 @@ experiments:
 # vs full image cost, hot-backup put-latency interference, restore/PITR.
 bench-backup:
 	$(GO) run ./cmd/experiments -exp W3
+
+# Regenerate the read-path baseline (BENCH_readpath.json): point-read
+# throughput under a sustained writer and Put latency under back-to-back
+# scans, RW-latch + note cache vs the serialized (seed) discipline.
+bench-readpath:
+	$(GO) run ./cmd/experiments -exp W4
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	domino "repro"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// --- W4: read path under concurrent writes ---
+//
+// The tentpole claim of the RW-latch work: point reads scale past a
+// sustained writer instead of queuing behind it, and a full scan no longer
+// holds the store latch across its callback, so writers are never stalled
+// for a whole scan. The "serialized" rows run the same store with
+// Options.SerializeReads, which restores the seed's single-semaphore
+// discipline (exclusive latch for reads, latch-held scans, no note cache)
+// as the measured baseline.
+
+// w4Result is one measured configuration, serialized to
+// BENCH_readpath.json as the regression baseline.
+type w4Result struct {
+	Phase       string  `json:"phase"`
+	Mode        string  `json:"mode"`
+	Docs        int     `json:"docs"`
+	Readers     int     `json:"readers,omitempty"`
+	Reads       int64   `json:"reads,omitempty"`
+	ReadsPerSec float64 `json:"reads_per_sec,omitempty"`
+	WriterOps   int64   `json:"writer_ops,omitempty"`
+	PutP50us    float64 `json:"put_p50_us,omitempty"`
+	PutP99us    float64 `json:"put_p99_us,omitempty"`
+	ScanAvgMs   float64 `json:"scan_avg_ms,omitempty"`
+	CacheHits   uint64  `json:"cache_hits,omitempty"`
+	CacheMisses uint64  `json:"cache_misses,omitempty"`
+	HitRate     float64 `json:"hit_rate,omitempty"`
+}
+
+// w4DB opens a database with explicit store options.
+func w4DB(title string, opts store.Options) *domino.Database {
+	dir, err := os.MkdirTemp("", "domino-exp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := domino.Open(filepath.Join(dir, "exp.nsf"),
+		domino.Options{Title: title, ReplicaID: domino.NewReplicaID(), Store: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+// w4Modes are the two latching disciplines under comparison.
+var w4Modes = []struct {
+	name string
+	opts store.Options
+}{
+	{"serialized", store.Options{SerializeReads: true}},
+	{"rw+cache", store.Options{}},
+}
+
+// w4ReadThroughput measures RawGet throughput from `readers` goroutines
+// while one writer continuously updates documents.
+func w4ReadThroughput(mode string, opts store.Options, docs, readers int, dur time.Duration) w4Result {
+	db := w4DB("w4a", opts)
+	defer db.Close()
+	g := workload.New(41)
+	corpus := seedDocs(db, g, docs, 512)
+
+	var stop atomic.Bool
+	var writerOps atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wmut := workload.New(43)
+		sess := db.Session("writer")
+		for i := 0; !stop.Load(); i++ {
+			d := corpus[i%len(corpus)].Clone()
+			wmut.Mutate(d)
+			if err := sess.Update(d); err != nil {
+				log.Fatal(err)
+			}
+			writerOps.Add(1)
+		}
+	}()
+
+	// 90/10 hot-set access: most reads hit a tenth of the corpus, the rest
+	// roam the whole file — the usual shape of a mail file or discussion
+	// database, and what a bounded cache is for.
+	hot := len(corpus) / 10
+	if hot == 0 {
+		hot = 1
+	}
+	var reads atomic.Int64
+	deadline := time.Now().Add(dur)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			n := int64(0)
+			for i := 0; time.Now().Before(deadline); i++ {
+				j := r*7919 + i
+				var u domino.UNID
+				if i%10 != 9 {
+					u = corpus[j*31%hot].OID.UNID
+				} else {
+					u = corpus[j%len(corpus)].OID.UNID
+				}
+				if _, err := db.RawGet(u); err != nil {
+					log.Fatal(err)
+				}
+				n++
+			}
+			reads.Add(n)
+		}(r)
+	}
+	// Wait out the measurement window, then stop the writer.
+	time.Sleep(time.Until(deadline))
+	stop.Store(true)
+	wg.Wait()
+
+	st := db.Stats()
+	res := w4Result{
+		Phase:       "read-throughput",
+		Mode:        mode,
+		Docs:        docs,
+		Readers:     readers,
+		Reads:       reads.Load(),
+		ReadsPerSec: float64(reads.Load()) / dur.Seconds(),
+		WriterOps:   writerOps.Load(),
+		CacheHits:   st.NoteCacheHits,
+		CacheMisses: st.NoteCacheMisses,
+	}
+	if total := st.NoteCacheHits + st.NoteCacheMisses; total > 0 {
+		res.HitRate = float64(st.NoteCacheHits) / float64(total)
+	}
+	return res
+}
+
+// w4ScanInterference measures Put latency while full scans run
+// back-to-back: the serialized discipline makes the writer wait out whole
+// scans (p99 ≈ scan length); snapshot scans keep it µs-scale.
+func w4ScanInterference(mode string, opts store.Options, docs, puts int) w4Result {
+	db := w4DB("w4b", opts)
+	defer db.Close()
+	g := workload.New(47)
+	corpus := seedDocs(db, g, docs, 512)
+
+	var stop atomic.Bool
+	var scans atomic.Int64
+	var scanNanos atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			start := time.Now()
+			if err := db.ScanAll(func(*domino.Note) bool { return true }); err != nil {
+				log.Fatal(err)
+			}
+			scans.Add(1)
+			scanNanos.Add(time.Since(start).Nanoseconds())
+		}
+	}()
+
+	sess := db.Session("writer")
+	wmut := workload.New(53)
+	lats := make([]time.Duration, 0, puts)
+	for i := 0; i < puts; i++ {
+		d := corpus[i%len(corpus)].Clone()
+		wmut.Mutate(d)
+		start := time.Now()
+		if err := sess.Update(d); err != nil {
+			log.Fatal(err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	toUs := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	res := w4Result{
+		Phase:     "scan-interference",
+		Mode:      mode,
+		Docs:      docs,
+		WriterOps: int64(puts),
+		PutP50us:  toUs(percentile(lats, 0.50)),
+		PutP99us:  toUs(percentile(lats, 0.99)),
+	}
+	if s := scans.Load(); s > 0 {
+		res.ScanAvgMs = float64(scanNanos.Load()) / float64(s) / 1e6
+	}
+	return res
+}
+
+func runW4(quick bool) {
+	// Widen the scheduler: the container pins GOMAXPROCS to the core count,
+	// and at 1 the reader goroutines never overlap the writer at all.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	docs := pick(quick, 10000, 1000)
+	readers := 4
+	dur := time.Duration(pick(quick, 2000, 400)) * time.Millisecond
+	var results []w4Result
+
+	ta := newTable("mode", "readers", "reads/s", "writer ops", "cache hit rate")
+	for _, m := range w4Modes {
+		r := w4ReadThroughput(m.name, m.opts, docs, readers, dur)
+		results = append(results, r)
+		hit := "-"
+		if r.CacheHits+r.CacheMisses > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*r.HitRate)
+		}
+		ta.add(r.Mode, r.Readers, fmt.Sprintf("%.0f", r.ReadsPerSec), r.WriterOps, hit)
+	}
+	fmt.Println("  Phase A: point-read throughput under a sustained writer")
+	ta.print()
+	if results[0].ReadsPerSec > 0 {
+		fmt.Printf("  read throughput ratio rw+cache / serialized = %.2fx (target: >= 3x)\n",
+			results[1].ReadsPerSec/results[0].ReadsPerSec)
+	}
+
+	puts := pick(quick, 2000, 300)
+	tb := newTable("mode", "put p50 µs", "put p99 µs", "avg scan ms")
+	for _, m := range w4Modes {
+		r := w4ScanInterference(m.name, m.opts, docs, puts)
+		results = append(results, r)
+		tb.add(r.Mode, fmt.Sprintf("%.1f", r.PutP50us), fmt.Sprintf("%.1f", r.PutP99us),
+			fmt.Sprintf("%.2f", r.ScanAvgMs))
+	}
+	fmt.Println("  Phase B: Put latency while full scans run back-to-back")
+	tb.print()
+	fmt.Println("  (shape check: serialized put p99 ≈ scan length; snapshot scans keep it µs-scale)")
+
+	f, err := os.Create("BENCH_readpath.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("  baseline written to BENCH_readpath.json")
+}

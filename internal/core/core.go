@@ -65,7 +65,15 @@ type Database struct {
 	dirs  *dir.Directory
 
 	// feed is the sequenced change log every consumer hangs off; wmu orders
-	// store commits with feed appends so consumers observe commit order.
+	// store commits with feed appends so consumers observe commit order. It
+	// also makes every versioned read-modify-write atomic: reading the
+	// stored version, computing Seq/Revs/NoteID, and committing all happen
+	// under wmu, or two concurrent saves of one UNID would both stamp
+	// Seq=N+1 and silently lose an edit.
+	//
+	// Latch order: wmu → store latch (Put/GetByUNID take the store latch
+	// internally). Code holding the store latch must never acquire wmu —
+	// the store never calls back into core, so the order is easy to keep.
 	feed *changefeed.Feed
 	wmu  sync.Mutex
 
@@ -309,7 +317,16 @@ func (db *Database) SaveACL(s *Session) error {
 }
 
 // putVersioned advances a note's OID and stores it.
+//
+// The whole read-modify-write runs under wmu: the stored version is read,
+// Seq and per-item Revs are computed, and the note is committed as one
+// atomic section. Reading the old version outside wmu (as the seed did)
+// let two concurrent saves of the same UNID both observe Seq=N and both
+// stamp Seq=N+1 — one edit vanished and replication conflict detection
+// (which compares Seq) lost the fork.
 func (db *Database) putVersioned(n *nsf.Note) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
 	old, err := db.st.GetByUNID(n.OID.UNID)
 	isNew := false
 	switch {
@@ -339,7 +356,6 @@ func (db *Database) putVersioned(n *nsf.Note) error {
 	// Timestamps are issued inside the commit section so Modified order
 	// matches feed (USN) order — the full-text catch-up cursor depends on
 	// that monotonicity.
-	db.wmu.Lock()
 	now := db.clock.Now()
 	if isNew && n.Created == 0 {
 		n.Created = now
@@ -347,11 +363,9 @@ func (db *Database) putVersioned(n *nsf.Note) error {
 	n.OID.SeqTime = now
 	n.Modified = now
 	if err := db.st.Put(n); err != nil {
-		db.wmu.Unlock()
 		return err
 	}
 	db.commit(n)
-	db.wmu.Unlock()
 	return nil
 }
 
@@ -470,14 +484,19 @@ func (db *Database) RawGet(unid nsf.UNID) (*nsf.Note, error) { return db.st.GetB
 func (db *Database) RawPut(n *nsf.Note) error {
 	db.clock.Observe(n.OID.SeqTime)
 	db.clock.Observe(n.Modified)
-	// Preserve the local NoteID if this UNID already exists.
+	db.wmu.Lock()
+	// Preserve the local NoteID if this UNID already exists. The lookup
+	// must sit inside wmu with the Put: done outside (as the seed did), a
+	// concurrent delete-and-recreate of the same UNID could interleave so
+	// that two NoteIDs end up live for one logical note — an orphan byID
+	// entry the UNID index no longer points at.
 	n.ID = 0
 	if old, err := db.st.GetByUNID(n.OID.UNID); err == nil {
 		n.ID = old.ID
 	} else if !errors.Is(err, ErrNotFound) {
+		db.wmu.Unlock()
 		return err
 	}
-	db.wmu.Lock()
 	// Replication must not regress the local modification index: stamp the
 	// local receive time so ScanModifiedSince finds the note for onward
 	// replication, while the OID keeps the original version identity.

@@ -102,7 +102,9 @@ func (s *Session) RemoveFromFolder(folder string, unid nsf.UNID) (bool, error) {
 	}
 	refs := fn.TextList(itemFolderRefs)
 	key := unid.String()
-	kept := refs[:0]
+	// TextList aliases the stored value's backing array (which cached reads
+	// share); compact into a fresh slice rather than in place.
+	kept := make([]string, 0, len(refs))
 	removed := false
 	for _, r := range refs {
 		if r == key {

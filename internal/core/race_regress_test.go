@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+// raceProcs widens the scheduler so kernel preemption can land between a
+// read and the lock that should have covered it. On the single-CPU CI box
+// GOMAXPROCS defaults to 1, where goroutines only yield at blocking points
+// and the pre-fix interleavings almost never fire.
+func raceProcs(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestConcurrentUpdatesSeqMonotonic is the regression test for the
+// putVersioned lost-update race: with the read-modify-write outside wmu,
+// two concurrent saves of one UNID could both read Seq=N and both stamp
+// Seq=N+1, silently dropping an edit. Every stamped Seq must be unique and
+// the final version must account for every update.
+func TestConcurrentUpdatesSeqMonotonic(t *testing.T) {
+	raceProcs(t)
+	db := openDB(t, Options{Title: "seqrace"})
+	s := db.Session("alice")
+	doc := memo("contended")
+	if err := s.Create(doc); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	unid := doc.OID.UNID
+
+	const (
+		writers = 8
+		rounds  = 20
+	)
+	var mu sync.Mutex
+	seen := make(map[uint32]int)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("writer-%d", w))
+			for i := 0; i < rounds; i++ {
+				n, err := sess.Get(unid)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				n.SetText("Body", fmt.Sprintf("w%d-%d", w, i))
+				if err := sess.Update(n); err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+				mu.Lock()
+				seen[n.OID.Seq]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for seq, k := range seen {
+		if k != 1 {
+			t.Errorf("Seq %d stamped %d times — lost update", seq, k)
+		}
+	}
+	final, err := db.RawGet(unid)
+	if err != nil {
+		t.Fatalf("RawGet: %v", err)
+	}
+	if want := uint32(1 + writers*rounds); final.OID.Seq != want {
+		t.Errorf("final Seq = %d, want %d (one per update)", final.OID.Seq, want)
+	}
+	if problems := db.Verify(); len(problems) > 0 {
+		t.Fatalf("Verify: %v", problems)
+	}
+}
+
+// TestRawPutDeleteNoOrphan is the regression test for the RawPut
+// NoteID-preservation race: with the lookup outside wmu, a concurrent
+// delete-and-recreate of the same UNID could leave two NoteIDs live for one
+// logical note — an orphan byID entry Verify reports as an index mismatch.
+func TestRawPutDeleteNoOrphan(t *testing.T) {
+	raceProcs(t)
+	db := openDB(t, Options{Title: "orphanrace"})
+	unid := nsf.NewUNID()
+	mk := func(seq uint32, body string) *nsf.Note {
+		n := nsf.NewNote(nsf.ClassDocument)
+		n.OID = nsf.OID{UNID: unid, Seq: seq, SeqTime: db.Clock().Now()}
+		n.Modified = db.Clock().Now()
+		n.SetText("Body", body)
+		return n
+	}
+	if err := db.RawPut(mk(1, "v1")); err != nil {
+		t.Fatalf("seed RawPut: %v", err)
+	}
+
+	for iter := 0; iter < 50; iter++ {
+		var wg sync.WaitGroup
+		run := func(fn func() error) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := fn(); err != nil {
+					t.Errorf("iter %d: %v", iter, err)
+				}
+			}()
+		}
+		run(func() error { return db.RawPut(mk(2, "a")) })
+		run(func() error {
+			err := db.RawDelete(unid)
+			if errors.Is(err, ErrNotFound) {
+				return nil
+			}
+			return err
+		})
+		run(func() error { return db.RawPut(mk(3, "b")) })
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if problems := db.Verify(); len(problems) > 0 {
+			t.Fatalf("iter %d: orphaned index entries after concurrent RawPut/RawDelete: %v", iter, problems)
+		}
+		// Make sure the next round starts from a live note.
+		if _, err := db.RawGet(unid); errors.Is(err, ErrNotFound) {
+			if err := db.RawPut(mk(1, "reseed")); err != nil {
+				t.Fatalf("reseed: %v", err)
+			}
+		}
+	}
+}

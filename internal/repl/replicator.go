@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	gosync "sync" // the test package declares a helper named sync
 
 	"repro/internal/core"
 	"repro/internal/formula"
@@ -79,10 +81,30 @@ func loadHistory(db *core.Database, peerName string) (history, error) {
 	}, nil
 }
 
+// histLocks serializes history read-modify-writes per (replica, peer).
+// Overlapping sessions against the same peer are normal — the scheduler and
+// a ChangeTrigger can both fire — and without serialization both would read
+// the history note at Seq=N and hand-stamp Seq=N+1, writing duplicate
+// sequence numbers into the note's version chain. Locks are striped by
+// hash: a collision only over-serializes two unrelated saves, never
+// under-serializes one.
+var histLocks [64]gosync.Mutex
+
+func histLock(db *core.Database, peerName string) *gosync.Mutex {
+	hsh := fnv.New32a()
+	r := db.ReplicaID()
+	hsh.Write(r[:])
+	hsh.Write([]byte(peerName))
+	return &histLocks[hsh.Sum32()%uint32(len(histLocks))]
+}
+
 func saveHistory(db *core.Database, peerName string, h history) error {
 	if peerName == "" {
 		return nil
 	}
+	mu := histLock(db, peerName)
+	mu.Lock()
+	defer mu.Unlock()
 	unid := historyUNID(peerName)
 	n, err := db.RawGet(unid)
 	if errors.Is(err, core.ErrNotFound) {

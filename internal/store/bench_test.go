@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/clock"
+
 	"repro/internal/nsf"
 )
 
@@ -142,4 +144,49 @@ func openTestStoreB(b *testing.B) (*Store, string) {
 	}
 	b.Cleanup(func() { s.Close() })
 	return s, path
+}
+
+// --- W4: point-read cost by latching discipline and cache state ---
+
+// benchReadStore seeds a store for read benchmarks.
+func benchReadStore(b *testing.B, opts Options, docs int) (*Store, []nsf.UNID) {
+	b.Helper()
+	s, err := Open(filepath.Join(b.TempDir(), "bench.nsf"), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	c := clock.New()
+	unids := make([]nsf.UNID, docs)
+	for i := 0; i < docs; i++ {
+		n := makeNote(c, fmt.Sprintf("doc-%d", i))
+		n.SetText("Body", fmt.Sprintf("body of document %d", i))
+		if err := s.Put(n); err != nil {
+			b.Fatal(err)
+		}
+		unids[i] = n.OID.UNID
+	}
+	return s, unids
+}
+
+// BenchmarkW4GetByUNID compares the seed discipline (exclusive latch, no
+// cache) against the RW discipline with the decoded-note cache.
+func BenchmarkW4GetByUNID(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"serialized", Options{SerializeReads: true}},
+		{"rw+cache", Options{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, unids := benchReadStore(b, mode.opts, 1000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.GetByUNID(unids[i%len(unids)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

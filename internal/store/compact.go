@@ -56,7 +56,9 @@ func (s *Store) Compact() (int, error) {
 		return 0, err
 	}
 	for _, id := range ids {
-		n, err := s.getByIDLocked(id)
+		// admit=false: the one-shot rewrite pass must not evict the live
+		// working set (the cache is cleared after the swap anyway).
+		n, err := s.getByIDLocked(id, false)
 		if err != nil {
 			cleanupFresh()
 			return 0, err
@@ -127,6 +129,9 @@ func (s *Store) Compact() (int, error) {
 	if err := s.heap.rebuild(); err != nil {
 		return 0, err
 	}
+	// The rewrite recycled the whole RecordID space: every cached decode
+	// now points at reused page/slot coordinates. Drop them all.
+	s.cache.clear()
 	s.sinceCheckpoint = 0
 	return before - after, nil
 }

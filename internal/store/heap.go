@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Heap page layout:
@@ -132,8 +133,14 @@ func heapCompact(pg *page) {
 
 // heap allocates and retrieves variable-length records across heap pages.
 // It keeps an in-memory free-space map, rebuilt on open by scanning pages.
+//
+// mu guards the free-space map. Mutations (insert, delete, rebuild) only
+// run under the store's exclusive latch today, but the heap carries its own
+// latch so its invariant is local: reads (get) never touch the map and are
+// safe under the store's read latch.
 type heap struct {
 	pg *pager
+	mu sync.Mutex
 	// avail maps heap pages to their approximate free byte count.
 	avail map[PageID]int
 }
@@ -144,7 +151,7 @@ func newHeap(pg *pager) *heap {
 
 // rebuild scans the file and reconstructs the free-space map.
 func (h *heap) rebuild() error {
-	h.avail = make(map[PageID]int)
+	avail := make(map[PageID]int)
 	for id := PageID(1); id < PageID(h.pg.pageCount); id++ {
 		pg, err := h.pg.get(id)
 		if err != nil {
@@ -152,10 +159,13 @@ func (h *heap) rebuild() error {
 		}
 		if nodeType(pg) == pageHeap {
 			if free := heapPotential(pg); free > 64 {
-				h.avail[id] = free
+				avail[id] = free
 			}
 		}
 	}
+	h.mu.Lock()
+	h.avail = avail
+	h.mu.Unlock()
 	return nil
 }
 
@@ -197,16 +207,22 @@ func (h *heap) insertSegment(seg []byte) (RecordID, error) {
 	// First fit from the free-space map, with a bounded probe: scanning the
 	// whole map for every large segment that fits nowhere would make big
 	// inserts O(#pages). A short probe keeps inserts O(1) at a small
-	// fragmentation cost.
+	// fragmentation cost. Candidates are collected under the map latch,
+	// then tried outside it (tryPlace re-enters the latch via noteFree).
+	h.mu.Lock()
+	var cands []PageID
 	probes := 0
 	for id, free := range h.avail {
 		if probes >= 16 {
 			break
 		}
 		probes++
-		if free < need {
-			continue
+		if free >= need {
+			cands = append(cands, id)
 		}
+	}
+	h.mu.Unlock()
+	for _, id := range cands {
 		pg, err := h.pg.get(id)
 		if err != nil {
 			return 0, err
@@ -263,11 +279,14 @@ func (h *heap) tryPlace(pg *page, seg []byte) (RecordID, bool) {
 
 // noteFree refreshes the free-space map entry for pg.
 func (h *heap) noteFree(pg *page) {
-	if free := heapPotential(pg); free > 64 {
+	free := heapPotential(pg)
+	h.mu.Lock()
+	if free > 64 {
 		h.avail[pg.id] = free
 	} else {
 		delete(h.avail, pg.id)
 	}
+	h.mu.Unlock()
 }
 
 // get reads the full record stored at rid, following segment chains.

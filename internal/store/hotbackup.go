@@ -121,8 +121,12 @@ func (s *Store) HotBackup(pageW, walW io.Writer) (BackupMark, error) {
 // from earlier images whose UNID is absent from the manifest was deleted
 // in the span the delta covers.
 func (s *Store) SnapshotModifiedSince(since nsf.Timestamp) ([][]byte, []nsf.UNID, BackupMark, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// One read-latch hold across the whole capture: the note delta, the
+	// UNID manifest, and the cursors must be mutually consistent, so
+	// writers are held off for the duration — but concurrent readers are
+	// not, and the hold is bounded by the delta size, not the database.
+	s.rlock()
+	defer s.runlock()
 	if s.closed {
 		return nil, nil, BackupMark{}, errors.New("store: closed")
 	}

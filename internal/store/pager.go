@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/nsf"
 )
@@ -50,7 +51,16 @@ const (
 )
 
 // pager manages the page file: allocation, the buffer pool, and the header.
+//
+// mu guards the buffer-pool map only. Concurrent readers (holding the
+// store's read latch) fault pages in as they go, so the map itself needs
+// its own latch; page *contents* and the header mirror need none, because
+// they are only mutated under the store's exclusive latch, which excludes
+// every reader. Eviction still happens only at flush time (a quiescent
+// point under the exclusive latch), so frames held by an in-progress
+// operation are never invalidated underneath it.
 type pager struct {
+	mu       sync.Mutex
 	f        *os.File
 	pages    map[PageID]*page
 	cacheCap int
@@ -170,26 +180,39 @@ func (p *pager) flushHeader() error {
 }
 
 // get returns the buffer-pool frame for id, reading it from disk if needed.
+// Safe for concurrent readers: the disk read happens outside the pool
+// latch, and a raced double-read keeps the first admitted frame (both
+// frames carry identical bytes — no writer can have intervened while the
+// callers hold the store's read latch).
 func (p *pager) get(id PageID) (*page, error) {
 	if id == nilPage || id >= PageID(p.pageCount) {
 		return nil, fmt.Errorf("store: page %d out of range (count %d)", id, p.pageCount)
 	}
+	p.mu.Lock()
 	if pg, ok := p.pages[id]; ok {
+		p.mu.Unlock()
 		return pg, nil
 	}
+	p.mu.Unlock()
 	pg := &page{id: id}
 	if _, err := p.f.ReadAt(pg.data[:], int64(id)*PageSize); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("store: read page %d: %w", id, err)
 	}
-	p.admit(pg)
+	p.mu.Lock()
+	if cur, ok := p.pages[id]; ok {
+		p.mu.Unlock()
+		return cur, nil
+	}
+	p.pages[id] = pg
+	p.mu.Unlock()
 	return pg, nil
 }
 
-// admit inserts a frame into the pool. Eviction happens only at flush time
-// (a quiescent point), so frames held by an in-progress operation are never
-// invalidated underneath it.
+// admit inserts a frame into the pool (write path: alloc).
 func (p *pager) admit(pg *page) {
+	p.mu.Lock()
 	p.pages[pg.id] = pg
+	p.mu.Unlock()
 }
 
 // alloc returns a zeroed page, reusing the free list when possible.
@@ -232,6 +255,8 @@ func (p *pager) free(id PageID) error {
 // This is the checkpoint device: after flush the page file is a consistent
 // snapshot of the database.
 func (p *pager) flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for id, pg := range p.pages {
 		if !pg.dirty {
 			continue
@@ -248,7 +273,8 @@ func (p *pager) flush() error {
 		return fmt.Errorf("store: sync page file: %w", err)
 	}
 	// Trim the pool back to capacity now that every frame is clean. No
-	// operation is in flight during a flush, so dropping frames is safe.
+	// operation is in flight during a flush (the caller holds the store's
+	// exclusive latch), so dropping frames is safe.
 	if len(p.pages) > p.cacheCap {
 		for id := range p.pages {
 			delete(p.pages, id)
@@ -262,6 +288,8 @@ func (p *pager) flush() error {
 
 // dirtyCount returns the number of dirty pages held in the pool.
 func (p *pager) dirtyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, pg := range p.pages {
 		if pg.dirty {

@@ -46,17 +46,40 @@ type Options struct {
 	// in-place updates that do not grow the file still work). Zero means
 	// unlimited.
 	QuotaBytes int64
+	// NoteCacheCap bounds the decoded-note cache in entries. Zero means the
+	// default (4096); negative disables the cache.
+	NoteCacheCap int
+	// SerializeReads restores the seed's single-semaphore discipline: reads
+	// take the exclusive latch, scans hold it end to end, and the note
+	// cache is disabled. It exists as the measured baseline for the W4
+	// read-path experiment and as an ablation hook; leave it off in
+	// production.
+	SerializeReads bool
 }
 
 // Store is a persistent note store: the storage half of an NSF database.
-// All methods are safe for concurrent use; operations are serialized by a
-// single mutex, mirroring Domino's per-database update semaphore.
+// All methods are safe for concurrent use.
+//
+// Latching discipline: mu is a reader/writer latch. Point reads (GetByUNID,
+// GetByID, Exists, Count, metadata, Stats, Verify) take the read latch and
+// run concurrently with each other; mutations (Put, Delete, Checkpoint,
+// Compact, Close) take the exclusive latch. The pager's buffer pool and the
+// heap's free-space map carry their own internal latches so concurrent
+// readers can fault pages in safely. ScanAll and ScanModifiedSince are
+// snapshot scans: they collect the ID list under a short read latch, then
+// fetch notes in batches (each batch under its own brief read latch) and
+// run the callback with no latch held — a full scan never blocks a writer
+// for more than one batch fetch. Notes deleted between the ID snapshot and
+// the fetch are skipped. This replaces the seed's literal reproduction of
+// Domino's per-database update semaphore (one mutex around everything),
+// which made every view rebuild or replication scan stall all writers.
 type Store struct {
-	mu              sync.Mutex
+	mu              sync.RWMutex
 	path            string
 	pg              *pager
 	wal             *wal
 	heap            *heap
+	cache           *noteCache // decoded-note cache; nil when disabled
 	byID            *btree // NoteID (4B BE)            -> RecordID (8B)
 	byUNID          *btree // UNID (16B)                -> NoteID (4B BE)
 	byMod           *btree // Modified (8B BE) + NoteID -> nil
@@ -103,6 +126,9 @@ func Open(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{path: path, pg: pg, wal: w, heap: newHeap(pg), opts: opts}
+	if !opts.SerializeReads {
+		s.cache = newNoteCache(opts.NoteCacheCap)
+	}
 	s.byID = &btree{pg: pg, slot: rootSlotByID}
 	s.byUNID = &btree{pg: pg, slot: rootSlotByUNID}
 	s.byMod = &btree{pg: pg, slot: rootSlotByMod}
@@ -188,40 +214,59 @@ func (s *Store) recover() error {
 // Path returns the page file path the store was opened with.
 func (s *Store) Path() string { return s.path }
 
+// rlock takes the read latch — or the exclusive latch when the
+// SerializeReads ablation is on, reproducing the seed's single-semaphore
+// behaviour for before/after measurement.
+func (s *Store) rlock() {
+	if s.opts.SerializeReads {
+		s.mu.Lock()
+	} else {
+		s.mu.RLock()
+	}
+}
+
+func (s *Store) runlock() {
+	if s.opts.SerializeReads {
+		s.mu.Unlock()
+	} else {
+		s.mu.RUnlock()
+	}
+}
+
 // Exists reports whether a note with the given UNID is stored, without
 // loading it.
 func (s *Store) Exists(unid nsf.UNID) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	_, ok, err := s.byUNID.Get(unid[:])
 	return ok, err
 }
 
 // ReplicaID returns the database's replica identity.
 func (s *Store) ReplicaID() nsf.ReplicaID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.pg.replicaID
 }
 
 // Title returns the database title.
 func (s *Store) Title() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.pg.title
 }
 
 // Created returns the database creation timestamp.
 func (s *Store) Created() nsf.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.pg.created
 }
 
 // Count returns the number of stored notes, deletion stubs included.
 func (s *Store) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.count
 }
 
@@ -293,20 +338,28 @@ func (s *Store) applyPutEncoded(n *nsf.Note, enc []byte) error {
 		s.pg.nextNoteID = uint32(n.ID) + 1
 		s.pg.hdrDirty = true
 	}
-	// Remove the previous version, if any.
+	// Remove the previous version, if any. The cached decode (when present)
+	// supplies the old Modified stamp without re-reading the heap.
 	if v, ok, err := s.byID.Get(idKey(n.ID)); err != nil {
 		return err
 	} else if ok {
 		oldRID := RecordID(binary.BigEndian.Uint64(v))
-		oldEnc, err := s.heap.get(oldRID)
-		if err != nil {
-			return err
+		var oldMod nsf.Timestamp
+		if cached := s.cache.peek(oldRID); cached != nil {
+			oldMod = cached.Modified
+		} else {
+			oldEnc, err := s.heap.get(oldRID)
+			if err != nil {
+				return err
+			}
+			old, err := nsf.DecodeNote(oldEnc)
+			if err != nil {
+				return err
+			}
+			oldMod = old.Modified
 		}
-		old, err := nsf.DecodeNote(oldEnc)
-		if err != nil {
-			return err
-		}
-		if _, err := s.byMod.Delete(modKey(old.Modified, old.ID)); err != nil {
+		s.cache.invalidate(oldRID)
+		if _, err := s.byMod.Delete(modKey(oldMod, n.ID)); err != nil {
 			return err
 		}
 		if err := s.heap.delete(oldRID); err != nil {
@@ -375,15 +428,22 @@ func (s *Store) applyDelete(unid nsf.UNID) error {
 		return fmt.Errorf("store: index inconsistency: UNID %s maps to missing NoteID %d", unid, id)
 	}
 	rid := RecordID(binary.BigEndian.Uint64(rv))
-	enc, err := s.heap.get(rid)
-	if err != nil {
-		return err
+	var oldMod nsf.Timestamp
+	if cached := s.cache.peek(rid); cached != nil {
+		oldMod = cached.Modified
+	} else {
+		enc, err := s.heap.get(rid)
+		if err != nil {
+			return err
+		}
+		old, err := nsf.DecodeNote(enc)
+		if err != nil {
+			return err
+		}
+		oldMod = old.Modified
 	}
-	old, err := nsf.DecodeNote(enc)
-	if err != nil {
-		return err
-	}
-	if _, err := s.byMod.Delete(modKey(old.Modified, id)); err != nil {
+	s.cache.invalidate(rid)
+	if _, err := s.byMod.Delete(modKey(oldMod, id)); err != nil {
 		return err
 	}
 	if _, err := s.byID.Delete(idKey(id)); err != nil {
@@ -401,8 +461,12 @@ func (s *Store) applyDelete(unid nsf.UNID) error {
 
 // GetByUNID returns the note with the given UNID.
 func (s *Store) GetByUNID(unid nsf.UNID) (*nsf.Note, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
+	// Hot path: the cache's UNID hint skips both index descents.
+	if n, ok := s.cache.getByUNID(unid); ok {
+		return n, nil
+	}
 	v, ok, err := s.byUNID.Get(unid[:])
 	if err != nil {
 		return nil, err
@@ -410,17 +474,19 @@ func (s *Store) GetByUNID(unid nsf.UNID) (*nsf.Note, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	return s.getByIDLocked(nsf.NoteID(binary.BigEndian.Uint32(v)))
+	return s.getByIDLocked(nsf.NoteID(binary.BigEndian.Uint32(v)), true)
 }
 
 // GetByID returns the note with the given per-replica NoteID.
 func (s *Store) GetByID(id nsf.NoteID) (*nsf.Note, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.getByIDLocked(id)
+	s.rlock()
+	defer s.runlock()
+	return s.getByIDLocked(id, true)
 }
 
-func (s *Store) getByIDLocked(id nsf.NoteID) (*nsf.Note, error) {
+// getByIDLocked loads a note by NoteID. The caller holds the store latch
+// (read or exclusive).
+func (s *Store) getByIDLocked(id nsf.NoteID, admit bool) (*nsf.Note, error) {
 	v, ok, err := s.byID.Get(idKey(id))
 	if err != nil {
 		return nil, err
@@ -428,23 +494,127 @@ func (s *Store) getByIDLocked(id nsf.NoteID) (*nsf.Note, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	enc, err := s.heap.get(RecordID(binary.BigEndian.Uint64(v)))
+	rid := RecordID(binary.BigEndian.Uint64(v))
+	if n, ok := s.cache.get(rid); ok {
+		return n, nil
+	}
+	enc, err := s.heap.get(rid)
 	if err != nil {
 		return nil, err
 	}
-	return nsf.DecodeNote(enc)
+	n, err := nsf.DecodeNote(enc)
+	if err != nil {
+		return nil, err
+	}
+	// Scans pass admit=false for scan resistance: one pass over a corpus
+	// larger than the cache would otherwise evict the point-read working
+	// set (and pay an eviction per miss) without ever re-using what it
+	// inserted.
+	if !admit {
+		return n, nil
+	}
+	// The cache takes ownership of the decoded note and hands back a copy,
+	// so a caller mutating its result can never corrupt a later read.
+	return s.cache.add(rid, n), nil
 }
+
+// scanBatch is how many notes a snapshot scan fetches per read-latch hold.
+const scanBatch = 256
 
 // ScanModifiedSince calls fn for every note with Modified > since, in
 // ascending modification order, until fn returns false. This is the scan
 // the replicator uses to find a delta.
+//
+// The scan is snapshot-style: it observes the set of notes present when it
+// starts (a consistent prefix of the modification history), fetches them in
+// batches, and runs fn with no latch held — writers are never stalled for
+// the duration of the scan. Notes deleted while the scan is in flight are
+// skipped; notes modified while it is in flight may be observed in either
+// version.
 func (s *Store) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) error {
+	if s.opts.SerializeReads {
+		return s.scanModifiedSinceSerialized(since, fn)
+	}
+	from := modKey(since, 0xFFFFFFFF) // strictly after all ids at `since`
+	s.mu.RLock()
+	var ids []nsf.NoteID
+	err := s.byMod.Ascend(from, func(k, _ []byte) bool {
+		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k[8:])))
+		return true
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return s.fetchNotes(ids, fn)
+}
+
+// ScanAll calls fn for every note in NoteID order until fn returns false.
+// Snapshot semantics match ScanModifiedSince: the ID list is collected
+// under a short read latch, notes are fetched in batches, fn runs with no
+// latch held, and concurrently deleted notes are skipped.
+func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
+	if s.opts.SerializeReads {
+		return s.scanAllSerialized(fn)
+	}
+	s.mu.RLock()
+	var ids []nsf.NoteID
+	err := s.byID.Ascend(nil, func(k, _ []byte) bool {
+		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k)))
+		return true
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return s.fetchNotes(ids, fn)
+}
+
+// fetchNotes delivers the snapshot ID list to fn: each batch of notes is
+// fetched under one brief read latch, then fn runs latch-free, so fn may
+// re-enter the store (even to write) and a slow consumer never holds the
+// latch. IDs whose notes vanished since the snapshot are skipped.
+func (s *Store) fetchNotes(ids []nsf.NoteID, fn func(*nsf.Note) bool) error {
+	batch := make([]*nsf.Note, 0, scanBatch)
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > scanBatch {
+			chunk = chunk[:scanBatch]
+		}
+		ids = ids[len(chunk):]
+		batch = batch[:0]
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return errors.New("store: closed")
+		}
+		for _, id := range chunk {
+			n, err := s.getByIDLocked(id, false)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				s.mu.RUnlock()
+				return err
+			}
+			batch = append(batch, n)
+		}
+		s.mu.RUnlock()
+		for _, n := range batch {
+			if !fn(n) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// scanModifiedSinceSerialized is the seed behaviour (ablation only): the
+// exclusive latch is held for the whole scan, fn included.
+func (s *Store) scanModifiedSinceSerialized(since nsf.Timestamp, fn func(*nsf.Note) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	from := modKey(since, 0xFFFFFFFF) // strictly after all ids at `since`
-	// Collect IDs first: the callback must not re-enter the btree mid-scan
-	// with interleaved heap reads mutating the pool — reads are safe, but
-	// collecting keeps the iteration logic simple and snapshot-like.
+	from := modKey(since, 0xFFFFFFFF)
 	var ids []nsf.NoteID
 	err := s.byMod.Ascend(from, func(k, _ []byte) bool {
 		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k[8:])))
@@ -454,7 +624,7 @@ func (s *Store) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) 
 		return err
 	}
 	for _, id := range ids {
-		n, err := s.getByIDLocked(id)
+		n, err := s.getByIDLocked(id, false)
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue
@@ -468,8 +638,8 @@ func (s *Store) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) 
 	return nil
 }
 
-// ScanAll calls fn for every note in NoteID order until fn returns false.
-func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
+// scanAllSerialized is the seed behaviour (ablation only).
+func (s *Store) scanAllSerialized(fn func(*nsf.Note) bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var ids []nsf.NoteID
@@ -481,7 +651,7 @@ func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
 		return err
 	}
 	for _, id := range ids {
-		n, err := s.getByIDLocked(id)
+		n, err := s.getByIDLocked(id, false)
 		if err != nil {
 			return err
 		}
@@ -542,16 +712,16 @@ func (s *Store) checkpointLocked() error {
 // operation. USNs are dense, persistent, and recovered exactly by crash
 // recovery.
 func (s *Store) LastUSN() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.usn
 }
 
 // ModHigh returns the high-water Modified timestamp over every note ever
 // stored — the cursor incremental backups scan from.
 func (s *Store) ModHigh() nsf.Timestamp {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
 	return s.modHigh
 }
 
@@ -575,18 +745,27 @@ type Stats struct {
 	// LastUSN is the update sequence number of the last committed
 	// operation (persistent across reopens).
 	LastUSN uint64
+	// NoteCacheEntries/Hits/Misses report the decoded-note cache (all zero
+	// when the cache is disabled).
+	NoteCacheEntries int
+	NoteCacheHits    uint64
+	NoteCacheMisses  uint64
 }
 
 // Stats returns current storage statistics.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rlock()
+	defer s.runlock()
+	entries, hits, misses := s.cache.stats()
 	return Stats{
-		Notes:      s.count,
-		Pages:      int(s.pg.pageCount),
-		DirtyPages: s.pg.dirtyCount(),
-		WALBytes:   s.wal.size,
-		LastUSN:    s.usn,
+		Notes:            s.count,
+		Pages:            int(s.pg.pageCount),
+		DirtyPages:       s.pg.dirtyCount(),
+		WALBytes:         s.wal.size,
+		LastUSN:          s.usn,
+		NoteCacheEntries: entries,
+		NoteCacheHits:    hits,
+		NoteCacheMisses:  misses,
 	}
 }
 

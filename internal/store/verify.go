@@ -12,8 +12,11 @@ import (
 // description of every problem found (empty means healthy). It is the
 // equivalent of Domino's "fixup" in detect-only mode.
 func (s *Store) Verify() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// A read latch suffices: Verify only reads, and holding it for the full
+	// check keeps the three passes mutually consistent (writers are held
+	// off; other readers proceed).
+	s.rlock()
+	defer s.runlock()
 	var problems []string
 	report := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf(format, args...))
