@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress verify bench experiments bench-backup bench-readpath clean
+.PHONY: all build vet test race stress verify bench experiments bench-backup bench-readpath bench-availability clean
 
 all: verify
 
@@ -21,11 +21,13 @@ race:
 
 # Short -race stress pass over the concurrency regression tests: the
 # versioned-write races (lost Seq updates, RawPut orphaning, replication
-# history forks) and the snapshot-scan/reader-writer latching tests.
+# history forks), the snapshot-scan/reader-writer latching tests, and the
+# server shutdown races (Close vs in-flight dispatch vs cluster pushers,
+# failover clients losing a mate mid-session).
 stress:
 	$(GO) test -race -count=2 \
-		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter' \
-		./internal/core ./internal/repl ./internal/store
+		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession' \
+		./internal/core ./internal/repl ./internal/store ./internal/server
 
 # verify is the tier-1 gate: build, vet, full tests, the race detector, and
 # the concurrency stress pass.
@@ -50,6 +52,12 @@ bench-backup:
 # scans, RW-latch + note cache vs the serialized (seed) discipline.
 bench-readpath:
 	$(GO) run ./cmd/experiments -exp W4
+
+# Regenerate the availability baseline (BENCH_availability.json): failover
+# window and zero-lost-acked-writes on node kill, accepted-request latency
+# under 2x overload with admission control on vs off.
+bench-availability:
+	$(GO) run ./cmd/experiments -exp W5
 
 clean:
 	$(GO) clean ./...

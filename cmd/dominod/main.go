@@ -30,11 +30,25 @@
 //	                                        # and (optionally) a full image every
 //	                                        # Nth run (incrementals between;
 //	                                        # 0 = always full)
+//	maxinflight 256                         # admission control: in-flight cap
+//	admitwait 100ms                         # max queue wait before shedding busy
+//	drain 15s                               # graceful-drain timeout on shutdown
 //
 // The fault directive (or the -fault flag, which overrides it) wraps the
 // listener in a seeded fault injector — connections randomly dropped,
 // delayed, truncated, or severed — for soak-testing replication and
 // client retry behavior against an unreliable network.
+//
+// Cluster mates can also be named on the command line with repeatable
+// -cluster name=addr flags (added to any config "cluster" directives; the
+// address registers the peer too, so no separate "peer" line is needed).
+//
+// Runtime quiesce/resume directives are delivered as signals: SIGUSR1
+// puts the server in RESTRICTED drain mode (new sessions refused, probes
+// answer RESTRICTED, in-flight work finishes, cluster pushers flush) and
+// SIGUSR2 resumes service. SIGTERM/SIGINT gracefully drain (bounded by
+// the drain timeout) before closing, so a planned restart shifts clients
+// to their failover mates instead of stranding them mid-request.
 package main
 
 import (
@@ -80,6 +94,9 @@ type config struct {
 	backupDir   string
 	backupTick  time.Duration
 	backupFullN int // a full image every Nth backup run (0 = every run)
+	maxInFlight int
+	admitWait   time.Duration
+	drain       time.Duration // graceful-drain timeout on shutdown
 }
 
 type agentJob struct {
@@ -240,6 +257,31 @@ func parseConfig(path string) (*config, error) {
 					return nil, bad("backup wants a non-negative full-image cadence")
 				}
 			}
+		case "maxinflight":
+			if len(fields) != 2 {
+				return nil, bad("maxinflight wants 1 argument")
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &cfg.maxInFlight); err != nil || cfg.maxInFlight == 0 {
+				return nil, bad("maxinflight wants a non-zero request cap (negative disables admission)")
+			}
+		case "admitwait":
+			if len(fields) != 2 {
+				return nil, bad("admitwait wants 1 argument")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.admitWait = d
+		case "drain":
+			if len(fields) != 2 {
+				return nil, bad("drain wants 1 argument")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.drain = d
 		case "agent":
 			if len(fields) != 4 {
 				return nil, bad("agent wants 3 arguments")
@@ -262,11 +304,26 @@ func parseConfig(path string) (*config, error) {
 	return cfg, nil
 }
 
+// clusterFlag collects repeatable -cluster name=addr mate declarations.
+type clusterFlag []string
+
+func (c *clusterFlag) String() string { return strings.Join(*c, ",") }
+func (c *clusterFlag) Set(v string) error {
+	if _, _, ok := strings.Cut(v, "="); !ok {
+		return fmt.Errorf("want name=addr, got %q", v)
+	}
+	*c = append(*c, v)
+	return nil
+}
+
 func main() {
 	configPath := flag.String("config", "server.conf", "configuration file")
 	faultSpec := flag.String("fault", "",
 		"network fault plan, e.g. seed=7,sever=0.01,delay=0.1,maxdelay=5ms (overrides config)")
 	syncWAL := flag.Bool("syncwal", false, "fsync the WAL on every operation (overrides config)")
+	var clusterMates clusterFlag
+	flag.Var(&clusterMates, "cluster",
+		"cluster mate as name=addr (repeatable; adds to config cluster/peer directives)")
 	flag.Parse()
 	cfg, err := parseConfig(*configPath)
 	if err != nil {
@@ -274,6 +331,11 @@ func main() {
 	}
 	if *syncWAL {
 		cfg.syncWAL = true
+	}
+	for _, m := range clusterMates {
+		name, addr, _ := strings.Cut(m, "=")
+		cfg.peers[strings.ToLower(name)] = addr
+		cfg.clusterWith = append(cfg.clusterWith, name)
 	}
 	srv, err := domino.NewServer(domino.ServerOptions{
 		Name:          cfg.name,
@@ -283,6 +345,8 @@ func main() {
 		PeerSecret:    cfg.secret,
 		SyncWAL:       cfg.syncWAL,
 		ArchiveLogDir: cfg.archiveLog,
+		MaxInFlight:   cfg.maxInFlight,
+		AdmitWait:     cfg.admitWait,
 	})
 	if err != nil {
 		log.Fatalf("dominod: %v", err)
@@ -359,6 +423,7 @@ func main() {
 	// database's changefeed: local writes trigger a prompt (debounced) push
 	// instead of waiting out the polling interval, while the ticker remains
 	// the catch-up path for remote changes and missed triggers.
+	triggers := make(map[string]*repl.ChangeTrigger)
 	for _, job := range cfg.jobs {
 		job := job
 		jobDB, err := srv.OpenDB(job.dbPath, domino.Options{})
@@ -366,6 +431,7 @@ func main() {
 			log.Fatalf("dominod: replication db %s: %v", job.dbPath, err)
 		}
 		trigger := repl.NewChangeTrigger(jobDB, 250*time.Millisecond)
+		triggers[strings.ToLower(job.peer)+"|"+job.dbPath] = trigger
 		go func() {
 			defer trigger.Stop()
 			t := time.NewTicker(job.interval)
@@ -396,6 +462,16 @@ func main() {
 				}
 			}
 		}()
+	}
+	// When a cluster pusher drops an event (mate down, queue overflow), hand
+	// the change to the scheduled replicator for that mate and database so
+	// catch-up starts immediately instead of waiting out the interval.
+	if len(triggers) > 0 {
+		srv.OnClusterDrop(func(mate, dbPath string) {
+			if t, ok := triggers[strings.ToLower(mate)+"|"+dbPath]; ok {
+				t.Kick()
+			}
+		})
 	}
 
 	// Agent scheduler: one manager per database (save triggers hook once),
@@ -488,12 +564,38 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	close(stop)
-	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+	drainTimeout := cfg.drain
+	if drainTimeout <= 0 {
+		drainTimeout = 15 * time.Second
+	}
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1, syscall.SIGUSR2)
+	for s := range sig {
+		switch s {
+		case syscall.SIGUSR1:
+			// Quiesce blocks until drained (or timeout); run it off the signal
+			// loop so a SIGUSR2 or SIGTERM during the drain is still handled.
+			log.Printf("quiesce requested (draining up to %s)", drainTimeout)
+			go func() {
+				if err := srv.Quiesce(drainTimeout); err != nil {
+					log.Printf("quiesce: %v", err)
+				} else {
+					log.Print("server RESTRICTED (drained)")
+				}
+			}()
+		case syscall.SIGUSR2:
+			srv.Resume()
+			log.Print("server resumed (OPEN)")
+		default:
+			log.Printf("shutting down (draining up to %s)", drainTimeout)
+			close(stop)
+			if err := srv.Quiesce(drainTimeout); err != nil {
+				log.Printf("drain: %v", err)
+			}
+			if err := srv.Close(); err != nil {
+				log.Printf("close: %v", err)
+			}
+			return
+		}
 	}
 }

@@ -214,15 +214,39 @@ type (
 	Server = server.Server
 	// ServerOptions configure a server.
 	ServerOptions = server.Options
+	// ServerHealth is a server's availability snapshot (state, index,
+	// in-flight/queued counts, latency EWMA, shed and panic counters).
+	ServerHealth = server.Health
 	// Client is an authenticated wire connection.
 	Client = wire.Client
 	// ClientOptions tune client timeouts, retries, and backoff.
 	ClientOptions = wire.Options
 	// RemoteDB is a database opened over the wire; it implements Peer.
 	RemoteDB = wire.RemoteDB
+	// FailoverClient is a cluster-aware client: it holds a list of cluster
+	// mates, probes their availability, and transparently fails over —
+	// rebinding open handles — when the current mate dies or sheds work.
+	FailoverClient = wire.FailoverClient
+	// FailoverOptions tune mate selection, circuit breaking, and probing.
+	FailoverOptions = wire.FailoverOptions
+	// FailoverStats count failovers, busy redirects, and probes.
+	FailoverStats = wire.FailoverStats
+	// FailoverDB is a database handle that survives mate failover; it
+	// implements Peer.
+	FailoverDB = wire.FailoverDB
+	// AvailabilityInfo is a server's self-reported availability snapshot.
+	AvailabilityInfo = wire.AvailabilityInfo
+	// BusyError is a shed response: the server refused the request before
+	// executing it, carrying its state and availability index.
+	BusyError = wire.BusyError
 	// Router moves mail from mail.box to destinations.
 	Router = router.Router
 )
+
+// ErrServerBusy matches any BusyError via errors.Is: the request was shed
+// by admission control and provably never executed, so it is always safe
+// to re-send.
+var ErrServerBusy = wire.ErrServerBusy
 
 // NewServer creates a server over a data directory.
 func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
@@ -233,6 +257,20 @@ func Dial(addr, user, secret string) (*Client, error) { return wire.Dial(addr, u
 // DialOptions is Dial with explicit timeout/retry/backoff options.
 func DialOptions(addr, user, secret string, opts ClientOptions) (*Client, error) {
 	return wire.DialOptions(addr, user, secret, opts)
+}
+
+// DialFailover connects to the first reachable cluster mate in addrs; the
+// returned client fails over to other mates on transport errors and busy
+// sheds, rebinding open database handles.
+func DialFailover(addrs []string, user, secret string, opts FailoverOptions) (*FailoverClient, error) {
+	return wire.DialFailover(addrs, user, secret, opts)
+}
+
+// ProbeAvailability asks a server for its availability snapshot without
+// authenticating (the probe is answered even in RESTRICTED drain mode). A
+// nil dialer uses net.Dial.
+func ProbeAvailability(addr string, timeout time.Duration) (AvailabilityInfo, error) {
+	return wire.ProbeAvailability(addr, nil, timeout)
 }
 
 // RetryableError reports whether err is a transient transport failure that

@@ -80,6 +80,20 @@ func (t *ChangeTrigger) fire() {
 // scheduled interval.
 func (t *ChangeTrigger) C() <-chan struct{} { return t.c }
 
+// Kick requests an immediate firing, bypassing the debounce window. It is
+// the hook for external "replicate now" signals — e.g. a cluster pusher
+// that dropped an event hands the change to the scheduled replicator by
+// kicking its trigger, so catch-up starts at once instead of waiting out
+// the polling interval.
+func (t *ChangeTrigger) Kick() {
+	t.mu.Lock()
+	stopped := t.stopped
+	t.mu.Unlock()
+	if !stopped {
+		t.fire()
+	}
+}
+
 // Stop cancels any pending debounce timer and silences future firings. The
 // underlying feed subscription stays registered (subscriptions live as long
 // as the database) but becomes a no-op.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nsf"
+	"repro/internal/wire"
 )
 
 // The database catalog (catalog.nsf): one document per database on the
@@ -97,11 +98,70 @@ func (s *Server) RefreshCatalog() (int, error) {
 		}
 		written++
 	}
-	// Drop catalog docs for databases that disappeared.
+	// Cluster-mate health docs: per-mate push-drop counts and queue depth,
+	// so an administrator browsing the catalog sees which mate is behind.
+	upsert := func(unid nsf.UNID, form string, set func(n *nsf.Note)) error {
+		valid[unid] = true
+		n, err := cat.RawGet(unid)
+		if errors.Is(err, core.ErrNotFound) {
+			n = &nsf.Note{OID: nsf.OID{UNID: unid}, Class: nsf.ClassDocument, Created: s.clock.Now()}
+			err = nil
+		}
+		if err != nil {
+			return err
+		}
+		n.SetWithFlags("Form", nsf.TextValue(form), nsf.FlagSummary)
+		n.SetWithFlags("Server", nsf.TextValue(s.opts.Name), nsf.FlagSummary)
+		set(n)
+		n.OID.Seq++
+		n.OID.SeqTime = s.clock.Now()
+		n.Modified = s.clock.Now()
+		return cat.RawPut(n)
+	}
+	s.mu.Lock()
+	pushers := append([]*clusterPusher(nil), s.cluster...)
+	s.mu.Unlock()
+	for _, p := range pushers {
+		dropped, queued := p.snapshot()
+		err := upsert(catalogDocUNID(s.opts.Name, "clustermate:"+p.mateName), "ClusterMate", func(n *nsf.Note) {
+			n.SetWithFlags("Mate", nsf.TextValue(p.mateName), nsf.FlagSummary)
+			n.SetText("Addr", p.mateAddr)
+			n.SetNumber("Dropped", float64(dropped))
+			n.SetNumber("Queue", float64(queued))
+		})
+		if err != nil {
+			return written, err
+		}
+		written++
+	}
+	// Server health doc: the availability index and admission counters —
+	// the catalog entry a cluster-aware client or admin reads to decide
+	// where work should go.
+	h := s.Health()
+	state := "OPEN"
+	if h.State == wire.StateRestricted {
+		state = "RESTRICTED"
+	}
+	err = upsert(catalogDocUNID(s.opts.Name, "health:server"), "ServerHealth", func(n *nsf.Note) {
+		n.SetWithFlags("State", nsf.TextValue(state), nsf.FlagSummary)
+		n.SetNumber("AvailabilityIndex", float64(h.Index))
+		n.SetNumber("InFlight", float64(h.InFlight))
+		n.SetNumber("Queued", float64(h.Queued))
+		n.SetNumber("Sheds", float64(h.Sheds))
+		n.SetNumber("PanicsRecovered", float64(h.Panics))
+		n.SetNumber("LatencyUs", float64(h.Latency.Microseconds()))
+	})
+	if err != nil {
+		return written, err
+	}
+	written++
+
+	// Drop catalog docs for databases (and mates) that disappeared.
+	catalogForms := map[string]bool{"Catalog": true, "ClusterMate": true, "ServerHealth": true}
 	var stale []nsf.UNID
 	err = cat.ScanAll(func(n *nsf.Note) bool {
 		if n.Class == nsf.ClassDocument && !n.IsStub() &&
-			n.Text("Form") == "Catalog" && !valid[n.OID.UNID] {
+			catalogForms[n.Text("Form")] && !valid[n.OID.UNID] {
 			stale = append(stale, n.OID.UNID)
 		}
 		return true

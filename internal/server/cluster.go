@@ -14,7 +14,9 @@ import (
 // they happen (event-driven), rather than waiting for the scheduled
 // replicator. Every save on a clustered database is queued and applied on
 // each mate within moments. The scheduled replicator remains the catch-up
-// path after outages.
+// path after outages — and a dropped push now *tells* it to run: drops
+// fire the server's OnClusterDrop callback, which dominod wires into the
+// replication jobs' ChangeTriggers for an immediate catch-up pass.
 
 // clusterEvent is one pending push.
 type clusterEvent struct {
@@ -32,6 +34,7 @@ type clusterPusher struct {
 	cond    *sync.Cond
 	queue   []clusterEvent
 	closed  bool
+	busy    bool // a batch is being delivered right now
 	dropped int
 
 	client  *wire.Client
@@ -41,7 +44,8 @@ type clusterPusher struct {
 // EnableClustering starts event-driven push replication to the given mates
 // (name -> address) for every database the server has opened or will open.
 // Events that cannot be delivered after retries are dropped and left to the
-// scheduled replicator; Dropped() exposes the count.
+// scheduled replicator; Dropped() exposes the count and OnClusterDrop
+// turns each drop into a catch-up signal.
 func (s *Server) EnableClustering(mates map[string]string) {
 	s.mu.Lock()
 	for name, addr := range mates {
@@ -59,6 +63,33 @@ func (s *Server) EnableClustering(mates map[string]string) {
 	s.mu.Unlock()
 	for path, db := range dbs {
 		s.hookClusterDB(path, db)
+	}
+}
+
+// ClusterMates returns the names of the configured cluster mates.
+func (s *Server) ClusterMates() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.cluster))
+	for _, p := range s.cluster {
+		names = append(names, p.mateName)
+	}
+	return names
+}
+
+// OnClusterDrop registers fn to be called (outside all locks) whenever a
+// push event is abandoned to the scheduled replicator, with the mate name
+// and database path. dominod wires this into the matching replication
+// job's ChangeTrigger so a drop schedules an immediate catch-up run
+// instead of waiting out the polling interval.
+func (s *Server) OnClusterDrop(fn func(mate, dbPath string)) {
+	s.onClusterDrop.Store(fn)
+}
+
+// notifyClusterDrop fires the registered drop callback, if any.
+func (s *Server) notifyClusterDrop(mate, dbPath string) {
+	if fn, ok := s.onClusterDrop.Load().(func(mate, dbPath string)); ok && fn != nil {
+		fn(mate, dbPath)
 	}
 }
 
@@ -93,32 +124,76 @@ func (s *Server) hookClusterDB(path string, db *core.Database) {
 
 func (p *clusterPusher) enqueue(ev clusterEvent) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	const maxQueue = 10000
 	if len(p.queue) >= maxQueue {
 		p.dropped++
+		p.mu.Unlock()
+		p.server.notifyClusterDrop(p.mateName, ev.dbPath)
 		return
 	}
 	p.queue = append(p.queue, ev)
 	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// drop records one abandoned event and signals the catch-up path.
+func (p *clusterPusher) drop(ev clusterEvent, err error) {
+	p.mu.Lock()
+	p.dropped++
+	p.mu.Unlock()
+	p.server.notifyClusterDrop(p.mateName, ev.dbPath)
+	log.Printf("cluster: push to %s failed: %v", p.mateName, err)
+}
+
+// snapshot returns the pusher's drop count and current queue depth.
+func (p *clusterPusher) snapshot() (dropped, queued int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped, len(p.queue)
 }
 
 // Dropped returns events abandoned due to overflow or delivery failure, for
 // all mates.
 func (s *Server) Dropped() int {
+	total := 0
+	for _, d := range s.DroppedByMate() {
+		total += d
+	}
+	return total
+}
+
+// DroppedByMate returns abandoned push events per cluster mate.
+func (s *Server) DroppedByMate() map[string]int {
 	s.mu.Lock()
 	pushers := append([]*clusterPusher(nil), s.cluster...)
 	s.mu.Unlock()
-	total := 0
+	out := make(map[string]int, len(pushers))
+	for _, p := range pushers {
+		d, _ := p.snapshot()
+		out[p.mateName] += d
+	}
+	return out
+}
+
+// clusterFlushed reports whether every pusher's queue is empty and no
+// batch is mid-delivery — the drain condition Quiesce waits on.
+func (s *Server) clusterFlushed() bool {
+	s.mu.Lock()
+	pushers := append([]*clusterPusher(nil), s.cluster...)
+	s.mu.Unlock()
 	for _, p := range pushers {
 		p.mu.Lock()
-		total += p.dropped
+		pending := len(p.queue) > 0 || p.busy
 		p.mu.Unlock()
+		if pending {
+			return false
+		}
 	}
-	return total
+	return true
 }
 
 // run drains the queue, delivering events to the mate.
@@ -136,28 +211,41 @@ func (p *clusterPusher) run() {
 		}
 		batch := p.queue
 		p.queue = nil
+		p.busy = true
 		p.mu.Unlock()
-		for _, ev := range batch {
+		for i, ev := range batch {
 			if err := p.deliver(ev); err != nil {
 				// One reconnect attempt, then hand the event to the
 				// scheduled replicator (drop).
 				p.disconnect()
 				if err := p.deliver(ev); err != nil {
-					p.mu.Lock()
-					p.dropped++
-					p.mu.Unlock()
-					log.Printf("cluster: push to %s failed: %v", p.mateName, err)
+					p.drop(ev, err)
+					// A dead mate fails every event the same way; drop
+					// the rest of the batch in one sweep (each drop still
+					// signals catch-up) instead of paying a dial timeout
+					// per event, then let the queue rebuild.
+					for _, rest := range batch[i+1:] {
+						p.drop(rest, err)
+					}
 					time.Sleep(50 * time.Millisecond)
+					break
 				}
 			}
 		}
+		p.mu.Lock()
+		p.busy = false
+		p.mu.Unlock()
 	}
 }
 
-// deliver applies one event on the mate, connecting lazily.
+// deliver applies one event on the mate, connecting lazily. The dial uses
+// a fast-fail profile (no internal retries, short timeout): the pusher has
+// its own retry/drop ladder, and a slow inner retry loop would stall
+// Close and Quiesce behind a dead mate.
 func (p *clusterPusher) deliver(ev clusterEvent) error {
 	if p.client == nil {
-		c, err := wire.Dial(p.mateAddr, p.server.opts.Name, p.server.opts.PeerSecret)
+		c, err := wire.DialOptions(p.mateAddr, p.server.opts.Name, p.server.opts.PeerSecret,
+			wire.Options{MaxRetries: -1, DialTimeout: 2 * time.Second})
 		if err != nil {
 			return err
 		}

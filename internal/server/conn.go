@@ -29,7 +29,9 @@ type handleState struct {
 
 // handleConn runs the request loop for one connection. Reads and writes
 // run under deadlines so a stalled or malicious peer (half-sent frame,
-// unread responses) can never pin the handler goroutine forever.
+// unread responses) can never pin the handler goroutine forever. Every
+// request passes admission control before dispatch, and a handler panic
+// closes only this connection — never the process.
 func (s *Server) handleConn(conn net.Conn) {
 	st := &connState{s: s, handles: make(map[uint32]*handleState), nextH: 1}
 	for {
@@ -44,7 +46,37 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		op := wire.Op(payload[0])
-		resp := st.dispatch(op, wire.NewDec(payload[1:]))
+		var resp *wire.Enc
+		switch {
+		case op == wire.OpAvailability:
+			// Probes answer unauthenticated and even while draining, so a
+			// failover client can always read the mate's state.
+			resp = s.availabilityResp()
+		case s.draining.Load():
+			// RESTRICTED: refuse new sessions outright, shed everything
+			// else with a busy response that says "go to a mate".
+			if op == wire.OpHello {
+				resp = fail(op, errors.New("server RESTRICTED (draining)"))
+			} else {
+				resp = s.busyResp(op)
+			}
+		case op == wire.OpHello:
+			// Authentication stays cheap and is never shed: a loaded
+			// server still answers hello so the client can read busy
+			// responses (with the index) and redirect.
+			resp = st.safeDispatch(op, wire.NewDec(payload[1:]))
+		default:
+			if !s.admission.admit() {
+				resp = s.busyResp(op)
+				break
+			}
+			start := time.Now()
+			resp = st.safeDispatch(op, wire.NewDec(payload[1:]))
+			s.admission.release(time.Since(start))
+		}
+		if resp == nil {
+			return // handler panicked; drop only this connection
+		}
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
@@ -52,6 +84,24 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// safeDispatch runs dispatch with panic recovery: a panicking handler is
+// logged and counted, and the connection is closed by returning nil — the
+// rest of the server keeps serving. The response for a half-executed
+// request is unknowable, so nothing is written.
+func (c *connState) safeDispatch(op wire.Op, d *wire.Dec) (resp *wire.Enc) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.s.admission.panics.Add(1)
+			c.s.logf(LogHealth, "panic in %#x handler (user %q): %v", byte(op), c.user, r)
+			resp = nil
+		}
+	}()
+	if hook := c.s.testPreDispatch; hook != nil {
+		hook(op)
+	}
+	return c.dispatch(op, d)
 }
 
 // fail builds an error response.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nsf"
+	"repro/internal/wire"
 )
 
 // The event monitor: Domino's event task watches database activity and
@@ -101,8 +102,10 @@ func (s *Server) ActivityCounts() map[string]uint64 {
 	return out
 }
 
-// MonitorReport renders one line per monitored database, sorted by path —
-// an administrative snapshot of activity and feed health.
+// MonitorReport renders one line per monitored database, sorted by path,
+// followed by a server health line (availability, admission, panic and
+// cluster-drop counters) — an administrative snapshot of activity, feed
+// health, and survivability.
 func (s *Server) MonitorReport() []string {
 	counts := s.ActivityCounts()
 	paths := make([]string, 0, len(counts))
@@ -110,7 +113,7 @@ func (s *Server) MonitorReport() []string {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
-	out := make([]string, 0, len(paths))
+	out := make([]string, 0, len(paths)+1)
 	for _, p := range paths {
 		line := fmt.Sprintf("%s: %d changes", p, counts[p])
 		if db, ok := s.DB(p); ok {
@@ -119,5 +122,16 @@ func (s *Server) MonitorReport() []string {
 		}
 		out = append(out, line)
 	}
+	h := s.Health()
+	state := "OPEN"
+	if h.State == wire.StateRestricted {
+		state = "RESTRICTED"
+	}
+	health := fmt.Sprintf("server: availability=%d state=%s inflight=%d queued=%d sheds=%d panics=%d",
+		h.Index, state, h.InFlight, h.Queued, h.Sheds, h.Panics)
+	for _, mateName := range s.ClusterMates() {
+		health += fmt.Sprintf(" dropped[%s]=%d", mateName, s.DroppedByMate()[mateName])
+	}
+	out = append(out, health)
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -59,6 +60,20 @@ type Options struct {
 	// <ArchiveLogDir>/<dbpath>.walog, preserving complete history for
 	// incremental backup verification and point-in-time recovery.
 	ArchiveLogDir string
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections (admission control). Requests beyond it wait up to
+	// AdmitWait for a slot and are then shed with a busy response carrying
+	// the availability index. 0 uses 256; negative disables admission
+	// control entirely.
+	MaxInFlight int
+	// AdmitWait bounds how long an arriving request may queue for an
+	// execution slot before being shed. 0 uses 100ms; negative sheds
+	// immediately once the pool is full.
+	AdmitWait time.Duration
+	// TargetLatency anchors the availability index's latency term: a
+	// dispatch-latency EWMA at or below it costs nothing, ten times it
+	// saturates the term. 0 uses 25ms.
+	TargetLatency time.Duration
 }
 
 // Server is a running Domino-style server.
@@ -73,6 +88,15 @@ type Server struct {
 	backups map[string]BackupStatus
 
 	monitor monitorState
+
+	admission admissionState
+	draining  atomic.Bool
+	// onClusterDrop, when set, is called (outside locks) for every cluster
+	// push event abandoned to the scheduled replicator.
+	onClusterDrop atomic.Value // of func(mate, dbPath string)
+	// testPreDispatch, when set by tests before Serve, runs at the top of
+	// every dispatched request — the hook for injecting panics and delays.
+	testPreDispatch func(op wire.Op)
 
 	router *router.Router
 
@@ -105,12 +129,28 @@ func New(opts Options) (*Server, error) {
 	case opts.WriteTimeout < 0:
 		opts.WriteTimeout = 0
 	}
+	switch {
+	case opts.MaxInFlight == 0:
+		opts.MaxInFlight = 256
+	case opts.MaxInFlight < 0:
+		opts.MaxInFlight = 0 // admission disabled
+	}
+	switch {
+	case opts.AdmitWait == 0:
+		opts.AdmitWait = 100 * time.Millisecond
+	case opts.AdmitWait < 0:
+		opts.AdmitWait = 0 // shed immediately at saturation
+	}
+	if opts.TargetLatency <= 0 {
+		opts.TargetLatency = 25 * time.Millisecond
+	}
 	s := &Server{
 		opts:  opts,
 		clock: ck,
 		dbs:   make(map[string]*core.Database),
 		conns: make(map[net.Conn]struct{}),
 	}
+	s.admission.init(opts)
 	mailbox, err := s.OpenDB("mail.box", core.Options{Title: "Mail Router Box"})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"net"
+	"time"
+)
+
+// AvailabilityInfo is a server's self-reported load snapshot, the Domino
+// "server availability index" made concrete: 100 means idle, 0 means
+// saturated or draining. Clients use it to pick the least-loaded cluster
+// mate; the admission layer attaches it to busy responses so even a shed
+// request teaches the client where not to go next.
+type AvailabilityInfo struct {
+	// State is StateOpen or StateRestricted (quiescing/draining).
+	State byte
+	// Index is the availability index, 0..100.
+	Index int
+	// InFlight is the number of requests currently executing.
+	InFlight int
+	// Queued is the number of requests waiting for an admission slot.
+	Queued int
+	// Latency is the server's recent per-request latency estimate (EWMA).
+	Latency time.Duration
+}
+
+// Restricted reports whether the server is refusing new work.
+func (a AvailabilityInfo) Restricted() bool { return a.State == StateRestricted }
+
+// decAvailability parses the OpAvailability response body.
+func decAvailability(d *Dec) (AvailabilityInfo, error) {
+	info := AvailabilityInfo{
+		State:    d.U8(),
+		Index:    int(d.U32()),
+		InFlight: int(d.U32()),
+		Queued:   int(d.U32()),
+	}
+	info.Latency = time.Duration(d.U64()) * time.Microsecond
+	return info, d.Err()
+}
+
+// Availability asks the server for its current availability index over the
+// established session. Reading load is idempotent and retries safely.
+func (c *Client) Availability() (AvailabilityInfo, error) {
+	d, err := c.roundTrip(OpAvailability, NewEnc(OpAvailability))
+	if err != nil {
+		return AvailabilityInfo{}, err
+	}
+	return decAvailability(d)
+}
+
+// ProbeAvailability performs a one-shot, unauthenticated health probe: it
+// dials addr, issues OpAvailability, and closes. The whole probe is bounded
+// by timeout (<= 0 uses 2s). dialer nil dials plain TCP — failover clients
+// pass their fault-injection dialer so probes see the same network the
+// session does.
+func ProbeAvailability(addr string, dialer func(network, addr string) (net.Conn, error), timeout time.Duration) (AvailabilityInfo, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if dialer == nil {
+		dialer = func(network, addr string) (net.Conn, error) {
+			return net.DialTimeout(network, addr, timeout)
+		}
+	}
+	conn, err := dialer("tcp", addr)
+	if err != nil {
+		return AvailabilityInfo{}, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteFrame(conn, NewEnc(OpAvailability).Bytes()); err != nil {
+		return AvailabilityInfo{}, err
+	}
+	payload, err := ReadFrame(conn)
+	if err != nil {
+		return AvailabilityInfo{}, err
+	}
+	if len(payload) < 2 || payload[0] != byte(OpAvailability)|respBit {
+		return AvailabilityInfo{}, protoErrorf("bad availability probe response")
+	}
+	if payload[1] != StatusOK {
+		return AvailabilityInfo{}, &ServerError{Op: OpAvailability, Msg: "probe refused"}
+	}
+	return decAvailability(NewDec(payload[2:]))
+}

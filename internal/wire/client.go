@@ -233,14 +233,26 @@ func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
 		return nil, protoErrorf("response op %#x does not match request %#x", payload[0], byte(op))
 	}
 	d := NewDec(payload[2:])
-	if payload[1] != StatusOK {
+	switch payload[1] {
+	case StatusOK:
+		return d, nil
+	case StatusBusy:
+		// Admission shed: the request never executed and the connection
+		// is healthy. Carry the server's state and availability index so
+		// failover logic can redirect.
+		state := d.U8()
+		idx := d.U32()
+		if d.Err() != nil {
+			state, idx = StateOpen, 0
+		}
+		return nil, &BusyError{Op: op, State: state, Availability: int(idx)}
+	default:
 		msg := d.Str()
 		if d.Err() != nil {
 			msg = "unknown server error"
 		}
 		return nil, &ServerError{Op: op, Msg: msg}
 	}
-	return d, nil
 }
 
 func (c *Client) exchangeLocked(req *Enc) ([]byte, error) {
@@ -283,6 +295,17 @@ func (c *Client) withRetry(idempotent bool, fn func() error) error {
 		var se *ServerError
 		if errors.As(err, &se) {
 			return err
+		}
+		var be *BusyError
+		if errors.As(err, &be) {
+			// A shed request never executed, so re-sending is safe even
+			// for non-idempotent operations; back off to let the server
+			// recover (a failover client switches mates instead).
+			if attempt >= c.opts.MaxRetries {
+				return err
+			}
+			c.backoffLocked(attempt)
+			continue
 		}
 		if !idempotent || !Retryable(err) || attempt >= c.opts.MaxRetries {
 			return err

@@ -20,6 +20,35 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return "wire: server: " + e.Msg }
 
+// BusyError is an admission-control shed (StatusBusy): the server refused
+// the request before executing it. Unlike a transport fault, the request
+// definitely did NOT run, so re-sending is safe even for non-idempotent
+// operations. The carried state and availability index let a failover
+// client pick a better cluster mate instead of hammering a loaded one.
+type BusyError struct {
+	Op Op
+	// State is StateOpen (overloaded but serving) or StateRestricted
+	// (quiescing/draining — the server wants clients to leave).
+	State byte
+	// Availability is the server's availability index, 0 (saturated or
+	// draining) to 100 (idle).
+	Availability int
+}
+
+func (e *BusyError) Error() string {
+	kind := "busy"
+	if e.State == StateRestricted {
+		kind = "restricted"
+	}
+	return fmt.Sprintf("wire: server %s (availability %d)", kind, e.Availability)
+}
+
+// ErrServerBusy matches any BusyError via errors.Is.
+var ErrServerBusy = errors.New("wire: server busy")
+
+// Is lets errors.Is(err, ErrServerBusy) match shed responses.
+func (e *BusyError) Is(target error) bool { return target == ErrServerBusy }
+
 // ErrClosed is returned by operations on a client after Close.
 var ErrClosed = errors.New("wire: client closed")
 
@@ -45,6 +74,12 @@ func Retryable(err error) bool {
 	var se *ServerError
 	if errors.As(err, &se) {
 		return false
+	}
+	var be *BusyError
+	if errors.As(err, &be) {
+		// The request was shed before execution; a retry (after backoff,
+		// or on another mate) can succeed.
+		return true
 	}
 	var pe *protoError
 	if errors.As(err, &pe) {

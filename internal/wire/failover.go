@@ -1,0 +1,608 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ft"
+	"repro/internal/nsf"
+	"repro/internal/repl"
+)
+
+// FailoverClient is the cluster-aware client: it wraps the retry/redial
+// Client with a list of cluster-mate addresses, per-mate circuit breakers,
+// availability probes, and availability-weighted mate selection. When the
+// current mate dies or sheds with a busy response, operations transparently
+// land on a surviving mate, and every open FailoverDB handle is re-opened
+// there — the same rebind discipline the PR-1 reconnect path applies
+// across a redial, lifted one level up to span servers.
+//
+// Semantics mirror Client's: idempotent operations (and shed requests,
+// which provably never executed) retry across mates; a non-idempotent
+// operation that fails mid-round-trip is surfaced to the caller, because
+// the dead mate may have executed it — but the next operation fails over.
+
+// FailoverOptions tune failover behaviour. The zero value gets defaults
+// chosen for fast failover; see the field comments.
+type FailoverOptions struct {
+	// Client configures the per-mate connection. Zero values get
+	// fast-failover defaults (1 inner retry, 20ms backoff base, 2s dial
+	// timeout) rather than the standalone Client's patient ones: the
+	// failover path IS the retry.
+	Client Options
+	// FailThreshold is how many consecutive transport failures open a
+	// mate's circuit breaker (default 2).
+	FailThreshold int
+	// Cooldown is how long an open breaker waits before a half-open
+	// probe may test the mate again (default 1s).
+	Cooldown time.Duration
+	// ProbeTimeout bounds one availability probe (default 1s).
+	ProbeTimeout time.Duration
+	// MaxFailovers bounds mate switches within one operation
+	// (default 2 x number of mates).
+	MaxFailovers int
+}
+
+func (o FailoverOptions) withDefaults(mates int) FailoverOptions {
+	if o.Client.MaxRetries == 0 {
+		o.Client.MaxRetries = 1
+	}
+	if o.Client.BackoffBase <= 0 {
+		o.Client.BackoffBase = 20 * time.Millisecond
+	}
+	if o.Client.DialTimeout <= 0 {
+		o.Client.DialTimeout = 2 * time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.MaxFailovers <= 0 {
+		o.MaxFailovers = 2 * mates
+		if o.MaxFailovers < 2 {
+			o.MaxFailovers = 2
+		}
+	}
+	return o
+}
+
+// breaker states for one mate.
+const (
+	breakerClosed = iota // healthy, eligible
+	breakerOpen          // failing; only a half-open probe after cooldown may test it
+)
+
+// mate is one cluster member's address plus health bookkeeping. All fields
+// are guarded by FailoverClient.mu.
+type mate struct {
+	addr       string
+	state      int
+	fails      int
+	openedAt   time.Time
+	avail      int // last known availability index; -1 unknown
+	restricted bool
+}
+
+// effectiveAvail treats an unprobed mate optimistically so fresh mates get
+// tried before a known-loaded one.
+func (m *mate) effectiveAvail() int {
+	if m.avail < 0 {
+		return 100
+	}
+	return m.avail
+}
+
+// FailoverStats counts failover activity.
+type FailoverStats struct {
+	// Failovers is how many times the client abandoned a mate after
+	// transport failures.
+	Failovers uint64
+	// BusyRedirects is how many shed (busy) responses caused a mate switch.
+	BusyRedirects uint64
+	// Probes is how many availability probes were sent.
+	Probes uint64
+}
+
+// FailoverClient holds a session that survives the death of individual
+// cluster mates. Requests are serialized; one FailoverClient supports
+// concurrent callers.
+type FailoverClient struct {
+	opts   FailoverOptions
+	user   string
+	secret string
+
+	mu     sync.Mutex
+	mates  []*mate
+	cur    int // index of the connected mate; -1 when disconnected
+	client *Client
+	dbs    map[*FailoverDB]struct{}
+	closed bool
+	stats  FailoverStats
+}
+
+// DialFailover connects to the best available mate and authenticates.
+// addrs lists the cluster mates in preference order (ties in availability
+// resolve to the earlier address).
+func DialFailover(addrs []string, user, secret string, opts FailoverOptions) (*FailoverClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("wire: failover: no mate addresses")
+	}
+	fc := &FailoverClient{
+		opts:   opts.withDefaults(len(addrs)),
+		user:   user,
+		secret: secret,
+		cur:    -1,
+		dbs:    make(map[*FailoverDB]struct{}),
+	}
+	for _, a := range addrs {
+		fc.mates = append(fc.mates, &mate{addr: a, avail: -1})
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if err := fc.connectLocked(); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+// Close terminates the current connection.
+func (fc *FailoverClient) Close() error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fc.closed = true
+	return fc.abandonLocked()
+}
+
+// User returns the authenticated user name.
+func (fc *FailoverClient) User() string { return fc.user }
+
+// Current returns the address of the connected mate, if any.
+func (fc *FailoverClient) Current() (string, bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.cur < 0 {
+		return "", false
+	}
+	return fc.mates[fc.cur].addr, true
+}
+
+// Stats returns a snapshot of failover activity.
+func (fc *FailoverClient) Stats() FailoverStats {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.stats
+}
+
+// ProbeAll probes every mate's availability, updating the selection state,
+// and returns the results keyed by address (failed probes are omitted).
+func (fc *FailoverClient) ProbeAll() map[string]AvailabilityInfo {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	out := make(map[string]AvailabilityInfo, len(fc.mates))
+	for i := range fc.mates {
+		if info, err := fc.probeLocked(i); err == nil {
+			out[fc.mates[i].addr] = info
+		}
+	}
+	return out
+}
+
+// probeLocked sends one availability probe to mate i and folds the answer
+// into its health state. A failed probe counts as a breaker failure.
+func (fc *FailoverClient) probeLocked(i int) (AvailabilityInfo, error) {
+	m := fc.mates[i]
+	fc.stats.Probes++
+	info, err := ProbeAvailability(m.addr, fc.opts.Client.Dialer, fc.opts.ProbeTimeout)
+	if err != nil {
+		fc.markFailLocked(i)
+		return AvailabilityInfo{}, err
+	}
+	m.avail = info.Index
+	m.restricted = info.Restricted()
+	return info, nil
+}
+
+// markFailLocked records a transport failure against mate i; enough
+// consecutive failures open its breaker.
+func (fc *FailoverClient) markFailLocked(i int) {
+	m := fc.mates[i]
+	m.fails++
+	if m.fails >= fc.opts.FailThreshold && m.state != breakerOpen {
+		m.state = breakerOpen
+		m.openedAt = time.Now()
+	} else if m.state == breakerOpen {
+		m.openedAt = time.Now() // restart the cooldown
+	}
+}
+
+// abandonLocked drops the current connection (if any).
+func (fc *FailoverClient) abandonLocked() error {
+	var err error
+	if fc.client != nil {
+		err = fc.client.Close()
+		fc.client = nil
+	}
+	fc.cur = -1
+	for db := range fc.dbs {
+		db.r = nil
+	}
+	return err
+}
+
+// candidatesLocked orders the mates for a connection attempt: healthy
+// (breaker closed, not restricted) mates first by availability index
+// descending, then — as a last resort, because serving degraded beats not
+// serving — open-breaker and restricted mates by availability. Open or
+// restricted mates are probed before a full dial, which is the half-open
+// breaker transition.
+func (fc *FailoverClient) candidatesLocked() []int {
+	var healthy, fallback []int
+	now := time.Now()
+	for i, m := range fc.mates {
+		eligible := m.state == breakerClosed ||
+			(m.state == breakerOpen && now.Sub(m.openedAt) >= fc.opts.Cooldown)
+		if eligible && !m.restricted {
+			healthy = append(healthy, i)
+		} else {
+			fallback = append(fallback, i)
+		}
+	}
+	byAvail := func(ix []int) {
+		// Insertion sort: mate lists are tiny, and stability keeps the
+		// configured preference order on ties.
+		for a := 1; a < len(ix); a++ {
+			for b := a; b > 0 && fc.mates[ix[b]].effectiveAvail() > fc.mates[ix[b-1]].effectiveAvail(); b-- {
+				ix[b], ix[b-1] = ix[b-1], ix[b]
+			}
+		}
+	}
+	byAvail(healthy)
+	byAvail(fallback)
+	return append(healthy, fallback...)
+}
+
+// connectLocked dials the best candidate mate, authenticates, and re-opens
+// every registered FailoverDB handle there. On success the breaker closes.
+func (fc *FailoverClient) connectLocked() error {
+	var firstErr error
+	for _, i := range fc.candidatesLocked() {
+		m := fc.mates[i]
+		if m.state == breakerOpen || m.restricted {
+			// Half-open: one cheap probe decides whether the mate gets a
+			// real dial. A restricted (draining) mate is skipped until a
+			// probe says it is open again.
+			info, err := fc.probeLocked(i)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if info.Restricted() {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("wire: failover: mate %s is RESTRICTED", m.addr)
+				}
+				continue
+			}
+		}
+		c, err := DialOptions(m.addr, fc.user, fc.secret, fc.opts.Client)
+		if err != nil {
+			fc.markFailLocked(i)
+			if firstErr == nil || !Retryable(firstErr) {
+				firstErr = err
+			}
+			continue
+		}
+		if err := fc.rebindLocked(c); err != nil {
+			c.Close()
+			fc.markFailLocked(i)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// A successful dial closes the breaker but does NOT clear the
+		// failure count — a mate that accepts connections and then dies on
+		// every operation would otherwise never trip it. Only a completed
+		// operation (withFailover) proves health and resets the count.
+		fc.client, fc.cur = c, i
+		m.state, m.restricted = breakerClosed, false
+		return nil
+	}
+	if firstErr == nil {
+		firstErr = errors.New("wire: failover: no reachable mate")
+	}
+	return fmt.Errorf("wire: failover: all %d mates unreachable: %w", len(fc.mates), firstErr)
+}
+
+// rebindLocked re-opens every registered handle on a fresh client. A
+// database missing on this mate poisons only that handle (matching the
+// Client reconnect rules); transport errors fail the whole attempt.
+func (fc *FailoverClient) rebindLocked(c *Client) error {
+	for db := range fc.dbs {
+		r, err := c.OpenDB(db.path)
+		if err != nil {
+			var se *ServerError
+			if errors.As(err, &se) {
+				db.r, db.stale = nil, err
+				continue
+			}
+			return err
+		}
+		db.r, db.stale = r, nil
+	}
+	return nil
+}
+
+// withFailover runs fn with mate failover: shed (busy) responses and —
+// for idempotent operations — transport failures move the session to the
+// next-best mate and retry, bounded by MaxFailovers. Application errors
+// never fail over.
+func (fc *FailoverClient) withFailover(idempotent bool, fn func() error) error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for switches := 0; ; switches++ {
+		if fc.closed {
+			return ErrClosed
+		}
+		if fc.client == nil {
+			if err := fc.connectLocked(); err != nil {
+				return err
+			}
+		}
+		err := fn()
+		if err == nil {
+			fc.mates[fc.cur].fails = 0
+			return nil
+		}
+		var be *BusyError
+		if errors.As(err, &be) {
+			// The mate shed the request before executing it: remember how
+			// loaded it is, then redirect — safe even for non-idempotent
+			// operations.
+			m := fc.mates[fc.cur]
+			m.avail = be.Availability
+			m.restricted = be.State == StateRestricted
+			fc.stats.BusyRedirects++
+			fc.abandonLocked()
+			if switches >= fc.opts.MaxFailovers {
+				return err
+			}
+			continue
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return err // application error: the mate is healthy
+		}
+		// Transport failure: the inner client already spent its (short)
+		// retry/redial budget against this mate. Count it, open the path
+		// to the breaker, and fail over.
+		fc.markFailLocked(fc.cur)
+		fc.stats.Failovers++
+		fc.abandonLocked()
+		if !idempotent {
+			// The dead mate may have executed the request; surface the
+			// failure. The NEXT operation finds a live mate.
+			return err
+		}
+		if switches >= fc.opts.MaxFailovers {
+			return err
+		}
+	}
+}
+
+// Availability reports the connected mate's availability snapshot.
+func (fc *FailoverClient) Availability() (AvailabilityInfo, error) {
+	var info AvailabilityInfo
+	err := fc.withFailover(true, func() error {
+		var err error
+		info, err = fc.client.Availability()
+		return err
+	})
+	return info, err
+}
+
+// MailDeposit routes a mail note via whichever mate is alive. Depositing
+// is not idempotent; a mid-trip failure is surfaced, not re-sent.
+func (fc *FailoverClient) MailDeposit(n *nsf.Note) error {
+	return fc.withFailover(false, func() error {
+		return fc.client.MailDeposit(n)
+	})
+}
+
+// OpenDB opens a database by path, returning a handle that follows the
+// session across mate failover: after a switch, the handle is re-opened on
+// the new mate before any operation runs.
+func (fc *FailoverClient) OpenDB(path string) (*FailoverDB, error) {
+	fc.mu.Lock()
+	db := &FailoverDB{fc: fc, path: path}
+	fc.dbs[db] = struct{}{} // registered first so a failover rebinds it too
+	fc.mu.Unlock()
+	err := fc.withFailover(true, func() error {
+		if db.r != nil {
+			return nil // a connectLocked rebind already bound it
+		}
+		if db.stale != nil {
+			return db.stale // this mate lacks the database
+		}
+		r, err := fc.client.OpenDB(db.path)
+		if err != nil {
+			return err
+		}
+		db.r = r
+		return nil
+	})
+	if err != nil {
+		fc.mu.Lock()
+		delete(fc.dbs, db)
+		fc.mu.Unlock()
+		return nil, err
+	}
+	return db, nil
+}
+
+// FailoverDB is a database handle that survives mate failover. It
+// implements repl.Peer, so a replication session can ride through the
+// death of the server it started against.
+type FailoverDB struct {
+	fc   *FailoverClient
+	path string
+	// r is the handle on the current mate; nil while disconnected.
+	// stale is set when the current mate lacks the database.
+	// Both are guarded by fc.mu.
+	r     *RemoteDB
+	stale error
+}
+
+var _ repl.Peer = (*FailoverDB)(nil)
+
+// Path returns the server-side path the database was opened by.
+func (f *FailoverDB) Path() string { return f.path }
+
+// Title returns the database title as reported by the current mate.
+func (f *FailoverDB) Title() string {
+	f.fc.mu.Lock()
+	defer f.fc.mu.Unlock()
+	if f.r == nil {
+		return ""
+	}
+	return f.r.Title()
+}
+
+// Release forgets the handle: it is no longer re-opened after failover.
+func (f *FailoverDB) Release() {
+	f.fc.mu.Lock()
+	defer f.fc.mu.Unlock()
+	if f.r != nil {
+		f.r.Release()
+	}
+	delete(f.fc.dbs, f)
+}
+
+// do runs one operation against the handle on whichever mate is current.
+func (f *FailoverDB) do(idempotent bool, fn func(r *RemoteDB) error) error {
+	return f.fc.withFailover(idempotent, func() error {
+		if f.stale != nil {
+			return f.stale
+		}
+		if f.r == nil {
+			return protoErrorf("failover handle not bound")
+		}
+		return fn(f.r)
+	})
+}
+
+// ReplicaID implements repl.Peer.
+func (f *FailoverDB) ReplicaID() (nsf.ReplicaID, error) {
+	var id nsf.ReplicaID
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		id, err = r.ReplicaID()
+		return err
+	})
+	return id, err
+}
+
+// Summaries implements repl.Peer.
+func (f *FailoverDB) Summaries(since nsf.Timestamp, formulaSrc string) ([]repl.Summary, nsf.Timestamp, error) {
+	var sums []repl.Summary
+	var now nsf.Timestamp
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		sums, now, err = r.Summaries(since, formulaSrc)
+		return err
+	})
+	return sums, now, err
+}
+
+// Fetch implements repl.Peer.
+func (f *FailoverDB) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
+	var notes []*nsf.Note
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		notes, err = r.Fetch(unids)
+		return err
+	})
+	return notes, err
+}
+
+// Apply implements repl.Peer. Replication applies are idempotent by the
+// OID rules, so a batch interrupted by a mate's death is re-sent to the
+// survivor.
+func (f *FailoverDB) Apply(notes []*nsf.Note) (repl.ApplyStats, error) {
+	var st repl.ApplyStats
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		st, err = r.Apply(notes)
+		return err
+	})
+	return st, err
+}
+
+// Get fetches a note from whichever mate is current.
+func (f *FailoverDB) Get(unid nsf.UNID) (*nsf.Note, error) {
+	var n *nsf.Note
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		n, err = r.Get(unid)
+		return err
+	})
+	return n, err
+}
+
+// Create stores a new document. Creation is not idempotent: a mid-trip
+// mate death surfaces the error (the write may or may not have landed);
+// the caller decides whether to re-issue, and the next call fails over.
+func (f *FailoverDB) Create(n *nsf.Note) error {
+	return f.do(false, func(r *RemoteDB) error { return r.Create(n) })
+}
+
+// Update stores a modified document; not idempotent, like Create.
+func (f *FailoverDB) Update(n *nsf.Note) error {
+	return f.do(false, func(r *RemoteDB) error { return r.Update(n) })
+}
+
+// Delete replaces a document with a deletion stub (idempotent).
+func (f *FailoverDB) Delete(unid nsf.UNID) error {
+	return f.do(true, func(r *RemoteDB) error { return r.Delete(unid) })
+}
+
+// Search runs a full-text query on the current mate.
+func (f *FailoverDB) Search(query string) ([]ft.Result, error) {
+	var out []ft.Result
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		out, err = r.Search(query)
+		return err
+	})
+	return out, err
+}
+
+// ViewRows renders a view on the current mate.
+func (f *FailoverDB) ViewRows(view string) ([]ViewRow, error) {
+	var rows []ViewRow
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		rows, err = r.ViewRows(view)
+		return err
+	})
+	return rows, err
+}
+
+// Info fetches the database statistics from the current mate.
+func (f *FailoverDB) Info() (DBInfo, error) {
+	var info DBInfo
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		info, err = r.Info()
+		return err
+	})
+	return info, err
+}

@@ -64,6 +64,11 @@ const (
 	OpApply
 	OpMailDeposit
 	OpDBInfo
+	// OpAvailability reports the server's availability index and admission
+	// state. It is answered before authentication (it carries only load
+	// figures), so failover clients can probe mates cheaply, and it is
+	// answered even while the server is draining.
+	OpAvailability
 )
 
 // respBit marks response frames.
@@ -73,4 +78,18 @@ const respBit = 0x80
 const (
 	StatusOK byte = iota
 	StatusError
+	// StatusBusy is an admission-control shed: the server refused to
+	// execute the request (it never ran), and the response body carries
+	// the server state and availability index so the client can redirect
+	// to a less-loaded cluster mate.
+	StatusBusy
+)
+
+// Server admission states carried in availability and busy responses.
+const (
+	// StateOpen: the server is accepting work normally.
+	StateOpen byte = iota
+	// StateRestricted: the server is quiescing/draining — it answers
+	// probes but refuses new sessions and new requests.
+	StateRestricted
 )
