@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress verify bench experiments bench-backup bench-readpath bench-availability clean
+.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath drift clean
 
 all: verify
 
@@ -21,13 +21,23 @@ race:
 
 # Short -race stress pass over the concurrency regression tests: the
 # versioned-write races (lost Seq updates, RawPut orphaning, replication
-# history forks), the snapshot-scan/reader-writer latching tests, and the
-# server shutdown races (Close vs in-flight dispatch vs cluster pushers,
-# failover clients losing a mate mid-session).
+# history forks), the snapshot-scan/reader-writer latching tests, the
+# group-commit races (64 committers vs checkpoint/compact/hot-backup and
+# crash-durability of acked batches), and the server shutdown races (Close
+# vs in-flight dispatch vs cluster pushers, failover clients losing a mate
+# mid-session).
 stress:
 	$(GO) test -race -count=2 \
-		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession' \
+		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestGroupCommitRacesMaintenance|TestGroupCommitCrashKeepsAckedPuts|TestGroupCommitAmortization|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession' \
 		./internal/core ./internal/repl ./internal/store ./internal/server
+
+# Short native-fuzz smoke over the two decoders that guard trust boundaries:
+# the note codec (every WAL record and wire note passes through it) and the
+# frame reader (the first parse on every connection). Each target also keeps
+# its corpus as seed tests under plain `go test`.
+fuzz:
+	$(GO) test ./internal/nsf -run '^$$' -fuzz FuzzDecodeNote -fuzztime 15s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s
 
 # verify is the tier-1 gate: build, vet, full tests, the race detector, and
 # the concurrency stress pass.
@@ -58,6 +68,17 @@ bench-readpath:
 # under 2x overload with admission control on vs off.
 bench-availability:
 	$(GO) run ./cmd/experiments -exp W5
+
+# Regenerate the write-path baseline (BENCH_writepath.json): W1 plus the W7
+# group-commit scaling matrix (1..64 writers x SyncWAL x group commit).
+bench-writepath:
+	$(GO) run ./cmd/experiments -exp W1
+	$(GO) run ./cmd/experiments -exp W7
+
+# Bench drift guard: re-measure W1/W7 at quick sizes and fail if medians
+# regressed >30% against the committed BENCH_writepath.json baseline.
+drift:
+	$(GO) run ./cmd/experiments -exp GUARD -quick
 
 clean:
 	$(GO) clean ./...

@@ -321,6 +321,8 @@ func main() {
 	faultSpec := flag.String("fault", "",
 		"network fault plan, e.g. seed=7,sever=0.01,delay=0.1,maxdelay=5ms (overrides config)")
 	syncWAL := flag.Bool("syncwal", false, "fsync the WAL on every operation (overrides config)")
+	groupCommit := flag.Duration("groupcommit", 0,
+		"group-commit window (e.g. 200us): concurrent writers share one WAL force; 0 disables")
 	var clusterMates clusterFlag
 	flag.Var(&clusterMates, "cluster",
 		"cluster mate as name=addr (repeatable; adds to config cluster/peer directives)")
@@ -338,15 +340,16 @@ func main() {
 		cfg.clusterWith = append(cfg.clusterWith, name)
 	}
 	srv, err := domino.NewServer(domino.ServerOptions{
-		Name:          cfg.name,
-		DataDir:       cfg.data,
-		Directory:     cfg.directory,
-		Peers:         cfg.peers,
-		PeerSecret:    cfg.secret,
-		SyncWAL:       cfg.syncWAL,
-		ArchiveLogDir: cfg.archiveLog,
-		MaxInFlight:   cfg.maxInFlight,
-		AdmitWait:     cfg.admitWait,
+		Name:              cfg.name,
+		DataDir:           cfg.data,
+		Directory:         cfg.directory,
+		Peers:             cfg.peers,
+		PeerSecret:        cfg.secret,
+		SyncWAL:           cfg.syncWAL,
+		GroupCommitWindow: *groupCommit,
+		ArchiveLogDir:     cfg.archiveLog,
+		MaxInFlight:       cfg.maxInFlight,
+		AdmitWait:         cfg.admitWait,
 	})
 	if err != nil {
 		log.Fatalf("dominod: %v", err)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,17 +127,286 @@ func runW1(quick bool) {
 		fmt.Printf("  p50 ratio 8 views / 0 views = %.2fx (target: <= 1.5x)\n", p50v8/p50v0)
 	}
 	fmt.Println("  (shape check: async p50 flat in consumer count; +refresh pays it back)")
-	f, err := os.Create("BENCH_writepath.json")
+	base := loadWPBaseline()
+	base.W1 = results
+	saveWPBaseline(base)
+	fmt.Println("  baseline written to " + wpBaselineFile)
+}
+
+// --- write-path baseline file (shared by W1, W7, and the drift guard) ---
+
+// wpBaseline is the committed write-path baseline: the W1 consumer matrix
+// plus the W7 group-commit scaling matrix. Each experiment rewrites only
+// its own section, so regenerating one does not discard the other.
+type wpBaseline struct {
+	W1 []wpResult `json:"w1"`
+	W7 []w7Result `json:"w7"`
+}
+
+const wpBaselineFile = "BENCH_writepath.json"
+
+func loadWPBaseline() wpBaseline {
+	var base wpBaseline
+	raw, err := os.ReadFile(wpBaselineFile)
+	if err != nil {
+		return base
+	}
+	if json.Unmarshal(raw, &base) != nil {
+		// Legacy layout: a flat W1 array from before W7 existed.
+		var flat []wpResult
+		if json.Unmarshal(raw, &flat) == nil {
+			base.W1 = flat
+		}
+	}
+	return base
+}
+
+func saveWPBaseline(base wpBaseline) {
+	f, err := os.Create(wpBaselineFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(base); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
-	fmt.Println("  baseline written to BENCH_writepath.json")
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// --- W7: group-commit write scaling (writers x SyncWAL x group commit) ---
+//
+// The group-commit claim: with SyncWAL on, N concurrent writers share one
+// WAL force per commit window instead of paying one fsync each, so the
+// aggregate put rate scales with the writer count instead of being pinned
+// to the disk's fsync rate. The SyncWAL-on / group-commit-off column is the
+// per-op-fsync discipline every configuration used before this change; the
+// acceptance target (>=5x at 64 writers) is measured against it.
+
+// w7Result is one measured configuration of the scaling matrix.
+type w7Result struct {
+	Writers     int     `json:"writers"`
+	SyncWAL     bool    `json:"sync_wal"`
+	GroupCommit bool    `json:"group_commit"`
+	Ops         int     `json:"ops"`
+	PutsPerSec  float64 `json:"puts_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	WALFlushes  uint64  `json:"wal_flushes"`
+	WALRecords  uint64  `json:"wal_records"`
+}
+
+// w7Window is the commit window used whenever group commit is on — the
+// value the dominod -groupcommit flag documents as a good SyncWAL default.
+const w7Window = 200 * time.Microsecond
+
+// measureW7 runs writers goroutines of opsPer puts each against one fresh
+// database and reports aggregate throughput plus per-op latency.
+func measureW7(writers, opsPer int, syncWAL, groupCommit bool) w7Result {
+	dir, err := os.MkdirTemp("", "domino-w7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	var window time.Duration
+	if groupCommit {
+		window = w7Window
+	}
+	db, err := domino.Open(filepath.Join(dir, "w7.nsf"), domino.Options{
+		Title:     "w7",
+		ReplicaID: domino.NewReplicaID(),
+		Store:     domino.StoreOptions{SyncWAL: syncWAL, GroupCommitWindow: window},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Generate every writer's corpus before the clock starts.
+	corpora := make([][]*domino.Note, writers)
+	for w := range corpora {
+		corpora[w] = workload.New(int64(700 + w)).Corpus(opsPer, 256)
+	}
+	lats := make([][]time.Duration, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.Session(fmt.Sprintf("w7-%d", w))
+			ls := make([]time.Duration, 0, opsPer)
+			for _, n := range corpora[w] {
+				t0 := time.Now()
+				if err := sess.Create(n); err != nil {
+					log.Fatal(err)
+				}
+				ls = append(ls, time.Since(t0))
+			}
+			lats[w] = ls
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := db.Stats()
+	db.Close()
+
+	all := make([]time.Duration, 0, writers*opsPer)
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	toUs := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return w7Result{
+		Writers:     writers,
+		SyncWAL:     syncWAL,
+		GroupCommit: groupCommit,
+		Ops:         writers * opsPer,
+		PutsPerSec:  float64(writers*opsPer) / elapsed.Seconds(),
+		P50us:       toUs(percentile(all, 0.50)),
+		P95us:       toUs(percentile(all, 0.95)),
+		WALFlushes:  st.GroupCommitFlushes,
+		WALRecords:  st.GroupCommitRecords,
+	}
+}
+
+func runW7(quick bool) {
+	opsPer := pick(quick, 150, 30)
+	var results []w7Result
+	t := newTable("writers", "syncWAL", "group commit", "puts/s", "p50 µs", "p95 µs", "records/flush")
+	for _, writers := range []int{1, 4, 16, 64} {
+		for _, syncWAL := range []bool{false, true} {
+			for _, gc := range []bool{false, true} {
+				r := measureW7(writers, opsPer, syncWAL, gc)
+				results = append(results, r)
+				amort := "-"
+				if r.WALFlushes > 0 {
+					amort = fmt.Sprintf("%.1f", float64(r.WALRecords)/float64(r.WALFlushes))
+				}
+				t.add(writers, fmt.Sprint(syncWAL), fmt.Sprint(gc),
+					fmt.Sprintf("%.0f", r.PutsPerSec), r.P50us, r.P95us, amort)
+			}
+		}
+	}
+	t.print()
+	var fsync64, gc64 float64
+	for _, r := range results {
+		if r.Writers == 64 && r.SyncWAL {
+			if r.GroupCommit {
+				gc64 = r.PutsPerSec
+			} else {
+				fsync64 = r.PutsPerSec
+			}
+		}
+	}
+	if fsync64 > 0 {
+		fmt.Printf("  64 writers, SyncWAL on: group commit = %.1fx per-op fsync (target: >= 5x)\n",
+			gc64/fsync64)
+	}
+	fmt.Println("  (shape check: SyncWAL throughput pinned to fsync rate without group commit, scales with writers with it)")
+	base := loadWPBaseline()
+	base.W7 = results
+	saveWPBaseline(base)
+	fmt.Println("  baseline written to " + wpBaselineFile)
+}
+
+// --- GUARD: write-path bench drift guard ---
+//
+// Re-measures a pinned subset of the W1 and W7 configurations and fails
+// (non-zero exit, so `make drift` fails CI) when a fresh median regresses
+// more than 30% against the committed BENCH_writepath.json. Each probe
+// keeps the best of three trials and applies a small absolute floor: the
+// guard hunts real regressions — a serialized write path, a lost fsync
+// amortization — not scheduler noise.
+
+const (
+	driftRatio   = 1.30 // fail when worse than baseline by more than 30%
+	driftFloorUs = 15.0 // and by more than 15µs: sub-µs medians jitter
+	driftTrials  = 3
+)
+
+func runGuard(quick bool) {
+	base := loadWPBaseline()
+	if len(base.W1) == 0 || len(base.W7) == 0 {
+		log.Fatalf("GUARD: %s lacks a w1/w7 baseline; run `make bench-writepath` and commit the result", wpBaselineFile)
+	}
+	var failures []string
+	t := newTable("probe", "baseline", "fresh", "verdict")
+
+	// W1 probes: async put p50 with 0 and 8 open views (no full-text).
+	ops := pick(quick, 1500, 400)
+	for _, views := range []int{0, 8} {
+		var want float64
+		for _, r := range base.W1 {
+			if r.Views == views && !r.FullText && !r.Refreshed {
+				want = r.P50us
+			}
+		}
+		if want == 0 {
+			failures = append(failures, fmt.Sprintf("W1 views=%d missing from baseline", views))
+			continue
+		}
+		got := 0.0
+		for trial := 0; trial < driftTrials; trial++ {
+			db := wpDB(views, false)
+			r := measureWrites(db, ops, false, int64(400+views+trial))
+			db.Refresh()
+			db.Close()
+			if trial == 0 || r.P50us < got {
+				got = r.P50us
+			}
+		}
+		verdict := "ok"
+		if got > want*driftRatio && got > want+driftFloorUs {
+			verdict = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("W1 views=%d put p50 %.1fµs vs baseline %.1fµs", views, got, want))
+		}
+		t.add(fmt.Sprintf("W1 put p50 (views=%d)", views),
+			fmt.Sprintf("%.1fµs", want), fmt.Sprintf("%.1fµs", got), verdict)
+	}
+
+	// W7 probes: the fsync-bound single writer and the group-committed
+	// 64-writer configuration — the two ends of the amortization claim.
+	opsPer := pick(quick, 150, 60)
+	for _, probe := range []struct {
+		writers int
+		gc      bool
+	}{{1, false}, {64, true}} {
+		var want float64
+		for _, r := range base.W7 {
+			if r.Writers == probe.writers && r.SyncWAL && r.GroupCommit == probe.gc {
+				want = r.PutsPerSec
+			}
+		}
+		if want == 0 {
+			failures = append(failures,
+				fmt.Sprintf("W7 writers=%d gc=%v missing from baseline", probe.writers, probe.gc))
+			continue
+		}
+		got := 0.0
+		for trial := 0; trial < driftTrials; trial++ {
+			r := measureW7(probe.writers, opsPer, true, probe.gc)
+			if r.PutsPerSec > got {
+				got = r.PutsPerSec
+			}
+		}
+		verdict := "ok"
+		if got*driftRatio < want {
+			verdict = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("W7 writers=%d gc=%v throughput %.0f/s vs baseline %.0f/s",
+					probe.writers, probe.gc, got, want))
+		}
+		t.add(fmt.Sprintf("W7 puts/s (writers=%d, gc=%v)", probe.writers, probe.gc),
+			fmt.Sprintf("%.0f/s", want), fmt.Sprintf("%.0f/s", got), verdict)
+	}
+
+	t.print()
+	if len(failures) > 0 {
+		log.Fatalf("GUARD: write-path bench drift:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("  no drift beyond 30% against the committed baseline")
 }
 
 // --- W2: incremental view refresh vs rebuild under concurrent writers ---

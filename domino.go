@@ -61,6 +61,9 @@ type (
 	Timestamp = nsf.Timestamp
 	// Clock issues strictly monotonic timestamps.
 	Clock = clock.Clock
+	// StoreOptions tune the storage layer (WAL sync, group commit,
+	// checkpointing); set on Options.Store.
+	StoreOptions = store.Options
 	// StoreStats reports storage statistics.
 	StoreStats = store.Stats
 	// DatabaseStats combines storage and change-propagation statistics

@@ -316,7 +316,17 @@ func (db *Database) SaveACL(s *Session) error {
 	return db.putVersioned(n)
 }
 
-// putVersioned advances a note's OID and stores it.
+// putVersioned advances a note's OID and stores it durably.
+func (db *Database) putVersioned(n *nsf.Note) error {
+	c, err := db.putVersionedAsync(n)
+	if err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// putVersionedAsync advances a note's OID and stores it, returning the
+// store's durability ticket instead of waiting on it.
 //
 // The whole read-modify-write runs under wmu: the stored version is read,
 // Seq and per-item Revs are computed, and the note is committed as one
@@ -324,7 +334,12 @@ func (db *Database) SaveACL(s *Session) error {
 // let two concurrent saves of the same UNID both observe Seq=N and both
 // stamp Seq=N+1 — one edit vanished and replication conflict detection
 // (which compares Seq) lost the fork.
-func (db *Database) putVersioned(n *nsf.Note) error {
+//
+// The WAL force, by contrast, deliberately happens outside wmu (the caller
+// waits on the ticket after this returns): with group commit on, holding
+// wmu across the fsync would serialize committers at this latch and no
+// batch could ever form.
+func (db *Database) putVersionedAsync(n *nsf.Note) (store.Commit, error) {
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
 	old, err := db.st.GetByUNID(n.OID.UNID)
@@ -337,7 +352,7 @@ func (db *Database) putVersioned(n *nsf.Note) error {
 			n.Items[i].Rev = 1
 		}
 	case err != nil:
-		return err
+		return store.Commit{}, err
 	default:
 		n.ID = old.ID
 		n.OID.Seq = old.OID.Seq + 1
@@ -362,11 +377,12 @@ func (db *Database) putVersioned(n *nsf.Note) error {
 	}
 	n.OID.SeqTime = now
 	n.Modified = now
-	if err := db.st.Put(n); err != nil {
-		return err
+	c, err := db.st.PutAsync(n)
+	if err != nil {
+		return store.Commit{}, err
 	}
 	db.commit(n)
-	return nil
+	return c, nil
 }
 
 func (db *Database) evalContext(user string) *formula.Context {
@@ -501,12 +517,18 @@ func (db *Database) RawPut(n *nsf.Note) error {
 	// local receive time so ScanModifiedSince finds the note for onward
 	// replication, while the OID keeps the original version identity.
 	n.Modified = db.clock.Now()
-	if err := db.st.Put(n); err != nil {
+	c, err := db.st.PutAsync(n)
+	if err != nil {
 		db.wmu.Unlock()
 		return err
 	}
 	db.commit(n)
 	db.wmu.Unlock()
+	// Await durability outside wmu so concurrent applies share the group
+	// commit (when it is on) instead of serializing at this latch.
+	if err := c.Wait(); err != nil {
+		return err
+	}
 	// A design note arriving by replication must take effect. This stays on
 	// the writer's path: it is rare and needs the store to be consistent
 	// with the design registry.
@@ -532,12 +554,14 @@ func (db *Database) RawPut(n *nsf.Note) error {
 // purger). Indexes drop the note when the feed entry reaches them.
 func (db *Database) RawDelete(unid nsf.UNID) error {
 	db.wmu.Lock()
-	defer db.wmu.Unlock()
-	if err := db.st.Delete(unid); err != nil {
+	c, err := db.st.DeleteAsync(unid)
+	if err != nil {
+		db.wmu.Unlock()
 		return err
 	}
 	db.feed.Append(changefeed.Delete, unid, nil)
-	return nil
+	db.wmu.Unlock()
+	return c.Wait()
 }
 
 // ScanModifiedSince exposes the replication scan: all notes (stubs

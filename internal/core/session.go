@@ -7,6 +7,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/ft"
 	"repro/internal/nsf"
+	"repro/internal/store"
 	"repro/internal/view"
 )
 
@@ -115,6 +116,71 @@ func (s *Session) Delete(unid nsf.UNID) error {
 		Created: old.Created,
 	}
 	return s.db.putVersioned(stub)
+}
+
+// putBatchWaitStride bounds how many documents accumulate in the forming
+// group-commit batch before PutBatch waits one out, so a huge batch cannot
+// grow an unbounded in-memory log tail.
+const putBatchWaitStride = 256
+
+// PutBatch stores documents create-or-update in input order, amortizing the
+// commit: every document is applied and its WAL record joins the forming
+// group-commit batch, and durability is awaited once at the end instead of
+// per document (batches flush in order, so waiting on the last ticket
+// covers them all — including any earlier write error, which poisons the
+// group). Access is checked per document: CanCreate for new UNIDs, CanEdit
+// for existing ones. Zero UNIDs are assigned; Author-level users get the
+// same automatic $Authors item as Create.
+//
+// It returns how many documents were stored: on error, exactly the first
+// `applied` documents were stored and are durable.
+func (s *Session) PutBatch(notes []*nsf.Note) (applied int, err error) {
+	var last store.Commit
+	for i, n := range notes {
+		if n.Class != nsf.ClassDocument {
+			err = fmt.Errorf("core: PutBatch only stores documents (document %d)", i)
+			break
+		}
+		if n.OID.UNID.IsZero() {
+			n.OID.UNID = nsf.NewUNID()
+		}
+		old, gerr := s.db.st.GetByUNID(n.OID.UNID)
+		switch {
+		case errors.Is(gerr, ErrNotFound):
+			if !s.id.CanCreate() {
+				err = fmt.Errorf("%w: %s may not create documents (document %d)", ErrAccessDenied, s.user, i)
+			} else if s.id.Level == acl.Author && len(n.Authors()) == 0 {
+				n.SetWithFlags("$Authors", nsf.TextValue(s.user), nsf.FlagAuthors|nsf.FlagSummary)
+			}
+		case gerr != nil:
+			err = fmt.Errorf("core: PutBatch document %d: %w", i, gerr)
+		default:
+			if !s.id.CanEdit(old) {
+				err = fmt.Errorf("%w: %s may not edit %s (document %d)", ErrAccessDenied, s.user, n.OID.UNID, i)
+			}
+		}
+		if err != nil {
+			break
+		}
+		c, perr := s.db.putVersionedAsync(n)
+		if perr != nil {
+			err = fmt.Errorf("core: PutBatch document %d: %w", i, perr)
+			break
+		}
+		last = c
+		applied++
+		if applied%putBatchWaitStride == 0 {
+			if werr := last.Wait(); werr != nil {
+				return applied, werr
+			}
+		}
+	}
+	// Even on a mid-batch error the applied prefix must be durable before
+	// we report it as stored.
+	if werr := last.Wait(); werr != nil {
+		return applied, werr
+	}
+	return applied, err
 }
 
 // Rows renders the named view for this session: category rows plus the

@@ -1,0 +1,39 @@
+package nsf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeNote throws arbitrary bytes at the note decoder. DecodeNote
+// guards the trust boundary twice over — every wire frame and every WAL
+// record passes through it — so it must never panic, and anything it
+// accepts must survive a re-encode/re-decode round trip unchanged.
+func FuzzDecodeNote(f *testing.F) {
+	f.Add(EncodeNote(sampleNote()))
+	f.Add(EncodeNote(NewNote(ClassDocument)))
+	stub := NewNote(ClassDocument)
+	stub.Flags |= FlagDeleted
+	f.Add(EncodeNote(stub))
+	full := EncodeNote(sampleNote())
+	f.Add(full[:len(full)/2])
+	f.Add([]byte{})
+	f.Add([]byte{codecVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeNote(data)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		re := EncodeNote(n)
+		n2, err := DecodeNote(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if !noteEqual(n, n2) {
+			t.Fatalf("re-encode round trip changed the note:\n got %+v\nwant %+v", n2, n)
+		}
+		if !bytes.Equal(re, EncodeNote(n2)) {
+			t.Fatal("encoding is not stable across round trips")
+		}
+	})
+}

@@ -25,6 +25,7 @@ type connState struct {
 type handleState struct {
 	db   *core.Database
 	sess *core.Session
+	path string
 }
 
 // handleConn runs the request loop for one connection. Reads and writes
@@ -80,7 +81,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.opts.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
-		if err := wire.WriteFrame(conn, resp.Bytes()); err != nil {
+		err = wire.WriteFrame(conn, resp.Bytes())
+		resp.Release()
+		if err != nil {
 			return
 		}
 	}
@@ -144,6 +147,8 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		resp, err = c.mailDeposit(d)
 	case wire.OpDBInfo:
 		resp, err = c.dbInfo(d)
+	case wire.OpPutBatch:
+		resp, err = c.putBatch(d)
 	default:
 		err = fmt.Errorf("unknown operation %#x", byte(op))
 	}
@@ -189,7 +194,7 @@ func (c *connState) openDB(d *wire.Dec) (*wire.Enc, error) {
 	}
 	h := c.nextH
 	c.nextH++
-	c.handles[h] = &handleState{db: db, sess: sess}
+	c.handles[h] = &handleState{db: db, sess: sess, path: path}
 	replica := db.ReplicaID()
 	return wire.NewResp(wire.OpOpenDB, wire.StatusOK).
 		U32(h).Raw(replica[:]).Str(db.Title()), nil
@@ -447,6 +452,58 @@ func (c *connState) dbInfo(d *wire.Dec) (*wire.Enc, error) {
 		U32(uint32(len(views)))
 	for _, v := range views {
 		resp.Str(v)
+	}
+	return resp, nil
+}
+
+// putBatch stores a pipelined batch of documents through one admission
+// slot, deduplicating against the session's durable cursor so a batch
+// re-sent after a reconnect applies exactly once. A partial failure is
+// reported as StatusOK with ok=0 so the client still learns the cursor
+// (how far the batch got) alongside the error.
+func (c *connState) putBatch(d *wire.Dec) (*wire.Enc, error) {
+	hs, err := c.handle(d)
+	if err != nil {
+		return nil, err
+	}
+	sessKey := d.Str()
+	base := d.U64()
+	count := int(d.U32())
+	notes := make([]*nsf.Note, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		notes = append(notes, d.Note())
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if base == 0 || base+uint64(count) < base {
+		return nil, fmt.Errorf("bad batch sequence base %d count %d", base, count)
+	}
+	// Scope the cursor to (user, client key, database) so neither another
+	// user nor another database can collide with this session's sequence.
+	key := c.user + "\x00" + sessKey + "\x00" + hs.path
+	cursor := c.s.putCursor(key)
+	skip := 0
+	for skip < len(notes) && base+uint64(skip) <= cursor {
+		skip++
+	}
+	fresh := notes[skip:]
+	for _, n := range fresh {
+		n.ID = 0 // note IDs are assigned by this server's store
+	}
+	applied, aerr := hs.sess.PutBatch(fresh)
+	if skip+applied > 0 {
+		if last := base + uint64(skip+applied) - 1; last > cursor {
+			cursor = last
+			c.s.advancePutCursor(key, last)
+		}
+	}
+	resp := wire.NewResp(wire.OpPutBatch, wire.StatusOK).
+		U64(cursor).U32(uint32(applied)).U32(uint32(skip))
+	if aerr != nil {
+		resp.U8(0).Str(aerr.Error())
+	} else {
+		resp.U8(1)
 	}
 	return resp, nil
 }

@@ -55,6 +55,11 @@ type Options struct {
 	// SyncWAL fsyncs every database's WAL on every operation (per-database
 	// store options can also turn this on individually).
 	SyncWAL bool
+	// GroupCommitWindow enables group commit for every database the server
+	// opens: concurrent committers share one WAL force instead of paying one
+	// fsync each (see store.Options.GroupCommitWindow). 200µs is a good
+	// value with SyncWAL on. Per-database store options take precedence.
+	GroupCommitWindow time.Duration
 	// ArchiveLogDir, when non-empty, turns on WAL archiving for every
 	// database the server opens: each database's sealed log segments go to
 	// <ArchiveLogDir>/<dbpath>.walog, preserving complete history for
@@ -91,6 +96,16 @@ type Server struct {
 
 	admission admissionState
 	draining  atomic.Bool
+
+	// putSess maps a pipelined-put session key (user, client key, database)
+	// to the highest batch sequence durably applied, so a batch re-sent
+	// after a reconnect skips its already-applied prefix. The map is
+	// bounded: beyond maxPutSessions the oldest session is evicted (FIFO),
+	// which only costs an evicted client its replay protection, never
+	// correctness of fresh batches.
+	putSessMu sync.Mutex
+	putSess   map[string]uint64
+	putSessQ  []string
 	// onClusterDrop, when set, is called (outside locks) for every cluster
 	// push event abandoned to the scheduled replicator.
 	onClusterDrop atomic.Value // of func(mate, dbPath string)
@@ -216,6 +231,9 @@ func (s *Server) OpenDB(path string, opts core.Options) (*core.Database, error) 
 	if s.opts.SyncWAL {
 		opts.Store.SyncWAL = true
 	}
+	if s.opts.GroupCommitWindow > 0 && opts.Store.GroupCommitWindow == 0 {
+		opts.Store.GroupCommitWindow = s.opts.GroupCommitWindow
+	}
 	if s.opts.ArchiveLogDir != "" && opts.Store.ArchiveDir == "" {
 		opts.Store.ArchiveDir = s.archiveDirFor(key)
 	}
@@ -232,6 +250,39 @@ func (s *Server) OpenDB(path string, opts core.Options) (*core.Database, error) 
 	s.hookMonitorDB(key, db)
 	s.mu.Lock()
 	return db, nil
+}
+
+// maxPutSessions bounds the pipelined-put cursor map.
+const maxPutSessions = 4096
+
+// putCursor returns the highest durably-applied batch sequence for a
+// pipelined-put session (0 if unknown).
+func (s *Server) putCursor(key string) uint64 {
+	s.putSessMu.Lock()
+	defer s.putSessMu.Unlock()
+	return s.putSess[key]
+}
+
+// advancePutCursor records that every batch sequence up to seq is durably
+// applied for the session. Cursors only move forward.
+func (s *Server) advancePutCursor(key string, seq uint64) {
+	s.putSessMu.Lock()
+	defer s.putSessMu.Unlock()
+	if s.putSess == nil {
+		s.putSess = make(map[string]uint64)
+	}
+	if cur, ok := s.putSess[key]; ok {
+		if seq > cur {
+			s.putSess[key] = seq
+		}
+		return
+	}
+	if len(s.putSessQ) >= maxPutSessions {
+		delete(s.putSess, s.putSessQ[0])
+		s.putSessQ = s.putSessQ[1:]
+	}
+	s.putSess[key] = seq
+	s.putSessQ = append(s.putSessQ, key)
 }
 
 // DB returns an already-open database.

@@ -82,7 +82,7 @@ func (s *Store) initArchive() error {
 // segment. No-op when archiving is off or the WAL is empty. Call with s.mu
 // held, before the WAL is reset.
 func (s *Store) sealWALLocked() error {
-	if s.opts.ArchiveDir == "" || s.wal.size == 0 {
+	if s.opts.ArchiveDir == "" || s.wal.size.Load() == 0 {
 		return nil
 	}
 	raw, err := s.wal.readAll()
@@ -315,6 +315,13 @@ func (s *Store) ApplyArchive(dir string, toUSN uint64) (int, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, errors.New("store: closed")
+	}
+	// Settle any forming group-commit batch before appending to the WAL
+	// directly: replayed records must land after every committed one.
+	if s.gc != nil {
+		if err := s.gc.drain(); err != nil {
+			return 0, err
+		}
 	}
 	applied := 0
 	_, err := ScanArchive(dir, s.usn, toUSN, func(rec walRecord) error {

@@ -19,6 +19,14 @@ func (s *Store) Compact() (int, error) {
 	if s.closed {
 		return 0, fmt.Errorf("store: closed")
 	}
+	// Quiesce group commit before touching files: an in-flight leader may
+	// still be appending to the WAL we are about to close and swap out, and
+	// pending waiters must be acked against the old file while it exists.
+	if s.gc != nil {
+		if err := s.gc.drain(); err != nil {
+			return 0, err
+		}
+	}
 	// Make the page file current first.
 	if err := s.pg.flush(); err != nil {
 		return 0, err
@@ -122,6 +130,11 @@ func (s *Store) Compact() (int, error) {
 	}
 	s.pg = pg
 	s.wal = w
+	if s.gc != nil {
+		// The group was drained above and new enqueues are excluded by s.mu,
+		// so it is idle; point it at the swapped-in WAL.
+		s.gc.rebind(w)
+	}
 	s.heap = newHeap(pg)
 	s.byID = &btree{pg: pg, slot: rootSlotByID}
 	s.byUNID = &btree{pg: pg, slot: rootSlotByUNID}

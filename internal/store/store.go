@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/nsf"
 )
@@ -29,6 +30,16 @@ type Options struct {
 	// still written per operation, so only an OS crash (not a process
 	// crash) can lose the tail.
 	SyncWAL bool
+	// GroupCommitWindow, when positive, turns on group commit: concurrent
+	// committers enqueue their WAL records into a shared batch and one
+	// leader writes (and, with SyncWAL, fsyncs) the whole batch, so the log
+	// is forced once per group instead of once per operation. Batching is
+	// natural — whatever accumulates during the previous flush forms the
+	// next batch — so under concurrency no one ever sleeps; the window is
+	// only how long a leader with a lone record lingers for company before
+	// forcing the log alone (and it is ignored when SyncWAL is off, where a
+	// solo flush is cheap). 200µs is a reasonable setting.
+	GroupCommitWindow time.Duration
 	// CheckpointEvery triggers an automatic checkpoint after this many
 	// logged operations. Zero means the default (8192); negative disables
 	// automatic checkpoints.
@@ -78,6 +89,7 @@ type Store struct {
 	path            string
 	pg              *pager
 	wal             *wal
+	gc              *commitGroup // non-nil when group commit is on
 	heap            *heap
 	cache           *noteCache // decoded-note cache; nil when disabled
 	byID            *btree // NoteID (4B BE)            -> RecordID (8B)
@@ -126,6 +138,9 @@ func Open(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{path: path, pg: pg, wal: w, heap: newHeap(pg), opts: opts}
+	if opts.GroupCommitWindow > 0 {
+		s.gc = newCommitGroup(w, opts.SyncWAL, opts.GroupCommitWindow)
+	}
 	if !opts.SerializeReads {
 		s.cache = newNoteCache(opts.NoteCacheCap)
 	}
@@ -283,22 +298,72 @@ func modKey(t nsf.Timestamp, id nsf.NoteID) []byte {
 	return k[:]
 }
 
+// Commit is a durability ticket for one logged operation. Wait blocks until
+// the operation's WAL record is on disk (fsynced per the store's SyncWAL
+// setting) and returns the log-write error, if any. Under group commit many
+// tickets resolve with one shared fsync; without it the record was already
+// written when the ticket was issued and Wait returns immediately. The zero
+// Commit waits for nothing.
+type Commit struct {
+	g *commitGroup
+	b *pendingBatch
+}
+
+// Wait blocks until the logged operation is durable.
+func (c Commit) Wait() error {
+	if c.g == nil {
+		return nil
+	}
+	return c.g.wait(c.b)
+}
+
+// logRecord routes one WAL record through group commit (returning a ticket
+// to wait on) or, without it, appends the record before returning.
+func (s *Store) logRecord(kind byte, usn uint64, payload []byte) (Commit, error) {
+	if s.gc != nil {
+		return Commit{g: s.gc, b: s.gc.enqueue(kind, usn, payload)}, nil
+	}
+	return Commit{}, s.wal.append(kind, usn, payload, s.opts.SyncWAL)
+}
+
+// encBufPool recycles per-put note-encode buffers. Both the WAL (frame or
+// batch) and the heap copy the encoding, so the buffer is free for reuse as
+// soon as the apply completes.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledEncBuf caps what goes back in the pool so one giant note does not
+// pin a giant buffer forever.
+const maxPooledEncBuf = 1 << 20
+
 // Put stores a note (insert or update, keyed by UNID), assigning a NoteID
 // when the note is new. The note's Modified timestamp indexes it for
 // replication scans; callers (internal/core) maintain OID versioning.
 func (s *Store) Put(n *nsf.Note) error {
+	c, err := s.PutAsync(n)
+	if err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// PutAsync applies a put and returns a durability ticket instead of waiting
+// for the WAL force. The note is visible to reads immediately; it is
+// guaranteed on disk only after Wait returns nil. Callers that acknowledge
+// writes (internal/core) wait outside their own latches so concurrent
+// committers can share one group-commit fsync.
+func (s *Store) PutAsync(n *nsf.Note) (Commit, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("store: closed")
+		return Commit{}, errors.New("store: closed")
 	}
 	if n.OID.UNID.IsZero() {
-		return errors.New("store: note has zero UNID")
+		return Commit{}, errors.New("store: note has zero UNID")
 	}
 	if n.ID == 0 {
 		// Reuse the NoteID if this UNID already exists; otherwise allocate.
 		if v, ok, err := s.byUNID.Get(n.OID.UNID[:]); err != nil {
-			return err
+			return Commit{}, err
 		} else if ok {
 			n.ID = nsf.NoteID(binary.BigEndian.Uint32(v))
 		} else {
@@ -307,7 +372,14 @@ func (s *Store) Put(n *nsf.Note) error {
 			s.pg.hdrDirty = true
 		}
 	}
-	enc := nsf.EncodeNote(n)
+	bufp := encBufPool.Get().(*[]byte)
+	enc := nsf.AppendNote((*bufp)[:0], n)
+	defer func() {
+		if cap(enc) <= maxPooledEncBuf {
+			*bufp = enc
+		}
+		encBufPool.Put(bufp)
+	}()
 	// Quota check against the projected file size: current pages plus a
 	// worst-case estimate for this note's records and index growth.
 	// Deletion stubs are exempt — deleting must always be possible at
@@ -315,17 +387,18 @@ func (s *Store) Put(n *nsf.Note) error {
 	if q := s.opts.QuotaBytes; q > 0 && !n.IsStub() {
 		projected := int64(s.pg.pageCount)*PageSize + int64(len(enc)) + 4*PageSize
 		if projected > q {
-			return fmt.Errorf("%w: file would reach %d bytes (quota %d)", ErrQuotaExceeded, projected, q)
+			return Commit{}, fmt.Errorf("%w: file would reach %d bytes (quota %d)", ErrQuotaExceeded, projected, q)
 		}
 	}
-	if err := s.wal.append(walPut, s.usn+1, enc, s.opts.SyncWAL); err != nil {
-		return err
+	ticket, err := s.logRecord(walPut, s.usn+1, enc)
+	if err != nil {
+		return Commit{}, err
 	}
 	s.usn++
 	if err := s.applyPutEncoded(n, enc); err != nil {
-		return err
+		return ticket, err
 	}
-	return s.maybeCheckpoint()
+	return ticket, s.maybeCheckpoint()
 }
 
 // applyPut applies a decoded note (WAL replay path).
@@ -396,19 +469,36 @@ func (s *Store) applyPutEncoded(n *nsf.Note, enc []byte) error {
 // job of internal/core; the storage engine only ever hard-deletes, e.g.
 // when purging stubs past the cutoff.
 func (s *Store) Delete(unid nsf.UNID) error {
+	c, err := s.DeleteAsync(unid)
+	if err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// DeleteAsync is Delete returning a durability ticket; see PutAsync.
+func (s *Store) DeleteAsync(unid nsf.UNID) (Commit, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("store: closed")
+		return Commit{}, errors.New("store: closed")
 	}
-	if err := s.wal.append(walDelete, s.usn+1, unid[:], s.opts.SyncWAL); err != nil {
-		return err
+	// Check existence before logging: a delete of a missing note must not
+	// consume a USN or leave a record for recovery to replay.
+	if _, ok, err := s.byUNID.Get(unid[:]); err != nil {
+		return Commit{}, err
+	} else if !ok {
+		return Commit{}, ErrNotFound
+	}
+	ticket, err := s.logRecord(walDelete, s.usn+1, unid[:])
+	if err != nil {
+		return Commit{}, err
 	}
 	s.usn++
 	if err := s.applyDelete(unid); err != nil {
-		return err
+		return ticket, err
 	}
-	return s.maybeCheckpoint()
+	return ticket, s.maybeCheckpoint()
 }
 
 func (s *Store) applyDelete(unid nsf.UNID) error {
@@ -688,6 +778,14 @@ func (s *Store) checkpointLocked() error {
 		s.ckDeferred = true
 		return nil
 	}
+	// Flush the forming group-commit batch first: sealing or resetting the
+	// WAL while records sit in memory would lose them. A failed flush
+	// poisons the group, so the checkpoint must not proceed past it.
+	if s.gc != nil {
+		if err := s.gc.drain(); err != nil {
+			return err
+		}
+	}
 	// Seal the WAL into the archive before touching the page file: if we
 	// crash after sealing, recovery replays the intact WAL and re-seals
 	// (overlap the archive reader skips); if we crash after the flush but
@@ -750,6 +848,11 @@ type Stats struct {
 	NoteCacheEntries int
 	NoteCacheHits    uint64
 	NoteCacheMisses  uint64
+	// GroupCommitFlushes/Records report group commit when it is on: batches
+	// written and logical records carried by them. Records/Flushes is the
+	// achieved fsync amortization factor.
+	GroupCommitFlushes uint64
+	GroupCommitRecords uint64
 }
 
 // Stats returns current storage statistics.
@@ -757,16 +860,20 @@ func (s *Store) Stats() Stats {
 	s.rlock()
 	defer s.runlock()
 	entries, hits, misses := s.cache.stats()
-	return Stats{
+	st := Stats{
 		Notes:            s.count,
 		Pages:            int(s.pg.pageCount),
 		DirtyPages:       s.pg.dirtyCount(),
-		WALBytes:         s.wal.size,
+		WALBytes:         s.wal.size.Load(),
 		LastUSN:          s.usn,
 		NoteCacheEntries: entries,
 		NoteCacheHits:    hits,
 		NoteCacheMisses:  misses,
 	}
+	if s.gc != nil {
+		st.GroupCommitFlushes, st.GroupCommitRecords = s.gc.stats()
+	}
+	return st
 }
 
 // Close checkpoints and releases the underlying files.

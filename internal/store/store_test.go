@@ -316,7 +316,7 @@ func TestStoreTornWALTail(t *testing.T) {
 		t.Fatalf("Put: %v", err)
 	}
 	walPath := path + ".wal"
-	size := s.wal.size
+	size := s.wal.size.Load()
 	if err := s.wal.f.Truncate(size - 3); err != nil {
 		t.Fatalf("truncate: %v", err)
 	}

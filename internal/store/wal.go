@@ -7,12 +7,21 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // WAL record kinds.
 const (
 	walPut    = 1 // payload: encoded note
 	walDelete = 2 // payload: 16-byte UNID
+	// walBatch wraps several logical records committed as one group: its
+	// payload is a sequence of sub-records (kind, usn, length, payload),
+	// and the frame-level CRC covers them all. A torn or corrupt tail
+	// therefore drops the whole batch, never a prefix of it — which is what
+	// makes group commit safe to acknowledge per batch. scanFrames flattens
+	// batches, so replay, sealing, and archive scans only ever see the
+	// logical records with their dense USNs.
+	walBatch = 3
 )
 
 // walRecord is one logical operation in the log. Every record carries the
@@ -36,8 +45,12 @@ type walRecord struct {
 // Replay stops at the first torn or corrupt record, which by write ordering
 // can only be the tail.
 type wal struct {
-	f    *os.File
-	size int64
+	f *os.File
+	// size is the committed tail offset. It is atomic because a group-commit
+	// leader appends outside the store latch while latch-holding readers
+	// (Stats, backup) observe it; writes are still serialized (one leader at
+	// a time, and the plain path only runs after the group is drained).
+	size atomic.Int64
 	buf  []byte
 }
 
@@ -51,7 +64,9 @@ func openWAL(path string) (*wal, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: stat wal: %w", err)
 	}
-	return &wal{f: f, size: info.Size()}, nil
+	w := &wal{f: f}
+	w.size.Store(info.Size())
+	return w, nil
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -80,11 +95,44 @@ func (w *wal) append(kind byte, usn uint64, payload []byte, sync bool) error {
 	if cap(w.buf) < need {
 		w.buf = make([]byte, 0, need*2)
 	}
-	buf := appendFrame(w.buf[:0], kind, usn, payload)
-	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+	return w.writeFrame(appendFrame(w.buf[:0], kind, usn, payload), sync)
+}
+
+// batchSubHeader is the per-record header inside a walBatch payload:
+// kind (1) + usn (8) + payload length (4).
+const batchSubHeader = 1 + 8 + 4
+
+// appendSubRecord encodes one logical record into a forming batch payload.
+func appendSubRecord(buf []byte, kind byte, usn uint64, payload []byte) []byte {
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, usn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// appendBatch writes count pre-encoded sub-records as one walBatch frame
+// whose CRC covers the whole group: recovery keeps the batch entirely or
+// drops it entirely. A single-record batch degenerates to a plain frame, so
+// a lone writer's log stays byte-identical to the unbatched path.
+func (w *wal) appendBatch(sub []byte, count int, lastUSN uint64, sync bool) error {
+	if count == 1 {
+		kind := sub[0]
+		usn := binary.LittleEndian.Uint64(sub[1:9])
+		return w.append(kind, usn, sub[batchSubHeader:], sync)
+	}
+	need := frameOverhead + len(sub)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need*2)
+	}
+	return w.writeFrame(appendFrame(w.buf[:0], walBatch, lastUSN, sub), sync)
+}
+
+// writeFrame appends one already-framed record (buf reuses w.buf's storage).
+func (w *wal) writeFrame(buf []byte, sync bool) error {
+	if _, err := w.f.WriteAt(buf, w.size.Load()); err != nil {
 		return fmt.Errorf("store: append wal: %w", err)
 	}
-	w.size += int64(len(buf))
+	w.size.Add(int64(len(buf)))
 	w.buf = buf
 	if sync {
 		if err := w.f.Sync(); err != nil {
@@ -133,7 +181,37 @@ func scanFrames(r io.Reader, size int64, fn func(rec walRecord) error) (consumed
 			USN:     binary.LittleEndian.Uint64(body[1:9]),
 			Payload: body[9:],
 		}
-		if err := fn(rec); err != nil {
+		if rec.Kind == walBatch {
+			// Flatten the batch so every consumer (replay, seal, archive
+			// scan) sees ordinary records with dense USNs. The frame CRC
+			// already vouched for the payload; a malformed interior means
+			// the writer was broken, so treat it like corruption at the
+			// batch boundary — all-or-nothing, never a prefix. That demands
+			// validating the whole batch BEFORE delivering any record of it.
+			sub := rec.Payload
+			for len(sub) > 0 {
+				if len(sub) < batchSubHeader {
+					return offset, false, nil
+				}
+				plen := int(binary.LittleEndian.Uint32(sub[9:13]))
+				if plen > len(sub)-batchSubHeader {
+					return offset, false, nil
+				}
+				sub = sub[batchSubHeader+plen:]
+			}
+			for sub = rec.Payload; len(sub) > 0; {
+				plen := int(binary.LittleEndian.Uint32(sub[9:13]))
+				r := walRecord{
+					Kind:    sub[0],
+					USN:     binary.LittleEndian.Uint64(sub[1:9]),
+					Payload: sub[batchSubHeader : batchSubHeader+plen],
+				}
+				if err := fn(r); err != nil {
+					return offset, false, err
+				}
+				sub = sub[batchSubHeader+plen:]
+			}
+		} else if err := fn(rec); err != nil {
 			return offset, false, err
 		}
 		offset += 8 + int64(length)
@@ -145,17 +223,18 @@ func scanFrames(r io.Reader, size int64, fn func(rec walRecord) error) (consumed
 // error; any earlier corruption is also treated as a torn tail because
 // records are written strictly in order.
 func (w *wal) replay(fn func(rec walRecord) error) error {
-	r := io.NewSectionReader(w.f, 0, w.size)
-	offset, _, err := scanFrames(r, w.size, fn)
+	size := w.size.Load()
+	r := io.NewSectionReader(w.f, 0, size)
+	offset, _, err := scanFrames(r, size, fn)
 	if err != nil {
 		return err
 	}
 	// Forget any torn tail so subsequent appends start from intact state.
-	if offset != w.size {
+	if offset != size {
 		if err := w.f.Truncate(offset); err != nil {
 			return fmt.Errorf("store: truncate torn wal tail: %w", err)
 		}
-		w.size = offset
+		w.size.Store(offset)
 	}
 	return nil
 }
@@ -164,7 +243,7 @@ func (w *wal) replay(fn func(rec walRecord) error) error {
 // last checkpoint) — the piece a hot backup captures alongside the page
 // file snapshot.
 func (w *wal) readAll() ([]byte, error) {
-	buf := make([]byte, w.size)
+	buf := make([]byte, w.size.Load())
 	if _, err := w.f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("store: read wal: %w", err)
 	}
@@ -179,7 +258,7 @@ func (w *wal) reset() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync wal: %w", err)
 	}
-	w.size = 0
+	w.size.Store(0)
 	return nil
 }
 

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+// TestEncPoolingSteadyStateAllocFree asserts the encoder pool works: in
+// steady state, building a response payload (get → append fields → Bytes →
+// Release) performs zero heap allocations. This is the regression guard for
+// the per-message Enc and buffer churn the pool exists to remove.
+func TestEncPoolingSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	warm := func() {
+		e := NewResp(OpGetNote, StatusOK).U32(7).Str("subject").U64(99).
+			Blob([]byte("0123456789abcdef"))
+		_ = e.Bytes()
+		e.Release()
+	}
+	for i := 0; i < 16; i++ {
+		warm() // grow pooled buffers past the working size
+	}
+	if avg := testing.AllocsPerRun(200, warm); avg >= 1 {
+		t.Errorf("pooled response encode allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestEncNotePooledScratch asserts the note-serialization scratch buffer is
+// reused: appending a note to a pooled encoder settles to zero allocations
+// per message.
+func TestEncNotePooledScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Subject", "steady state")
+	n.SetNumber("Priority", 2)
+	run := func() {
+		e := NewResp(OpGetNote, StatusOK).Note(n)
+		_ = e.Bytes()
+		e.Release()
+	}
+	for i := 0; i < 16; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(200, run); avg >= 1 {
+		t.Errorf("pooled note encode allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// BenchmarkEncResponse measures pooled response encoding (allocs/op should
+// report 0 in steady state).
+func BenchmarkEncResponse(b *testing.B) {
+	n := nsf.NewNote(nsf.ClassDocument)
+	n.SetText("Subject", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewResp(OpGetNote, StatusOK).Note(n)
+		_ = e.Bytes()
+		e.Release()
+	}
+}

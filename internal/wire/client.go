@@ -83,6 +83,14 @@ type Client struct {
 	closed bool
 	// dbs are the live remote handles to rebind after a reconnect.
 	dbs map[*RemoteDB]struct{}
+
+	// putKey names this client's pipelined-put session; putSeq numbers its
+	// batched operations. The server remembers, per (user, key, database),
+	// the highest sequence it has durably applied, so a batch re-sent after
+	// a reconnect skips the already-applied prefix — exactly-once retry
+	// without per-operation acks.
+	putKey string
+	putSeq uint64
 }
 
 // Dial connects and authenticates with default fault-tolerance options.
@@ -100,6 +108,7 @@ func DialOptions(addr, user, secret string, opts Options) (*Client, error) {
 		user:   user,
 		secret: secret,
 		dbs:    make(map[*RemoteDB]struct{}),
+		putKey: nsf.NewUNID().String(),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -170,7 +179,9 @@ func (c *Client) reconnectLocked() error {
 	c.conn = conn
 	c.broken = false
 	hello := NewEnc(OpHello).U32(protocolVersion).Str(c.user).Str(c.secret)
-	if _, err := c.doLocked(OpHello, hello); err != nil {
+	_, err = c.doLocked(OpHello, hello)
+	hello.Release()
+	if err != nil {
 		c.breakLocked()
 		return err
 	}
@@ -193,7 +204,9 @@ func (c *Client) reconnectLocked() error {
 
 // openLocked issues OpOpenDB for db and rebinds its handle fields.
 func (c *Client) openLocked(db *RemoteDB) error {
-	d, err := c.doLocked(OpOpenDB, NewEnc(OpOpenDB).Str(db.path))
+	req := NewEnc(OpOpenDB).Str(db.path)
+	d, err := c.doLocked(OpOpenDB, req)
+	req.Release()
 	if err != nil {
 		return err
 	}
@@ -316,16 +329,25 @@ func (c *Client) withRetry(idempotent bool, fn func() error) error {
 
 // call runs one operation with retry. build constructs the request per
 // attempt (remote handles may have been rebound by a reconnect in between).
+// The final attempt's request encoder is released back to the pool; earlier
+// attempts' encoders (if build made fresh ones) are left to the GC, and a
+// fixed request reused across attempts is released exactly once.
 func (c *Client) call(op Op, idempotent bool, build func() (*Enc, error)) (*Dec, error) {
 	var d *Dec
+	var req *Enc
 	err := c.withRetry(idempotent, func() error {
-		req, err := build()
-		if err != nil {
-			return err
+		r, berr := build()
+		if berr != nil {
+			return berr
 		}
-		d, err = c.doLocked(op, req)
-		return err
+		req = r
+		var derr error
+		d, derr = c.doLocked(op, r)
+		return derr
 	})
+	if req != nil {
+		req.Release()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -472,6 +494,62 @@ func (r *RemoteDB) Delete(unid nsf.UNID) error {
 		return NewEnc(OpDeleteNote).U32(r.handle).UNID(unid)
 	})
 	return err
+}
+
+// PutBatch stores documents create-or-update in input order through one
+// round trip and one server admission slot, with the server amortizing the
+// WAL force across the batch (group commit). Zero UNIDs are assigned
+// client-side so a re-sent batch targets the same documents.
+//
+// PutBatch is safely retried even though it writes: each batch carries the
+// client's pipelined-put session key and a base sequence number, and the
+// server's durable cursor for that session makes a replay skip exactly the
+// already-applied prefix. It returns how many documents are durably stored
+// server-side (counting ones a retry found already applied); on error,
+// exactly the first `stored` documents were stored.
+func (r *RemoteDB) PutBatch(notes []*nsf.Note) (stored int, err error) {
+	if len(notes) == 0 {
+		return 0, nil
+	}
+	for _, n := range notes {
+		if n.OID.UNID.IsZero() {
+			n.OID.UNID = nsf.NewUNID()
+		}
+	}
+	// Sequence numbers are claimed once per batch, not per attempt, so a
+	// retry re-sends the same (key, base) and dedups server-side.
+	r.c.mu.Lock()
+	base := r.c.putSeq + 1
+	r.c.putSeq += uint64(len(notes))
+	key := r.c.putKey
+	r.c.mu.Unlock()
+	d, err := r.call(OpPutBatch, true, func() *Enc {
+		req := NewEnc(OpPutBatch).U32(r.handle).Str(key).U64(base).
+			U32(uint32(len(notes)))
+		for _, n := range notes {
+			req.Note(n)
+		}
+		return req
+	})
+	if err != nil {
+		return 0, err
+	}
+	d.U64() // cursor: advisory, implied by applied+skipped
+	applied := int(d.U32())
+	skipped := int(d.U32())
+	ok := d.U8()
+	var msg string
+	if ok == 0 {
+		msg = d.Str()
+	}
+	if derr := d.Err(); derr != nil {
+		return 0, derr
+	}
+	stored = skipped + applied
+	if ok == 0 {
+		return stored, &ServerError{Op: OpPutBatch, Msg: msg}
+	}
+	return stored, nil
 }
 
 // ViewRow is a rendered remote view row.

@@ -3,20 +3,47 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/nsf"
 	"repro/internal/repl"
 )
 
-// Enc builds a message payload.
+// Enc builds a message payload. Encoders come from an internal pool:
+// callers that fully own an Enc (it was written to the wire and will not be
+// touched again) should Release it so its grown buffer is reused instead of
+// reallocated per message. Never releasing is safe — the GC collects the
+// encoder — it just forfeits the reuse.
 type Enc struct{ buf []byte }
 
+// encPool recycles encoders (and, through them, their grown buffers).
+var encPool = sync.Pool{New: func() any { return new(Enc) }}
+
+// maxPooledEnc caps the buffer size worth pooling, so one huge message
+// cannot pin a huge buffer in the pool.
+const maxPooledEnc = 1 << 20
+
 // NewEnc starts a request payload with the given op.
-func NewEnc(op Op) *Enc { return &Enc{buf: []byte{byte(op)}} }
+func NewEnc(op Op) *Enc {
+	e := encPool.Get().(*Enc)
+	e.buf = append(e.buf[:0], byte(op))
+	return e
+}
 
 // NewResp starts a response payload for op with a status byte.
 func NewResp(op Op, status byte) *Enc {
-	return &Enc{buf: []byte{byte(op) | respBit, status}}
+	e := encPool.Get().(*Enc)
+	e.buf = append(e.buf[:0], byte(op)|respBit, status)
+	return e
+}
+
+// Release returns the encoder to the pool. The caller must not use (or
+// re-release) it afterwards.
+func (e *Enc) Release() {
+	if e == nil || cap(e.buf) > maxPooledEnc {
+		return
+	}
+	encPool.Put(e)
 }
 
 // Bytes returns the accumulated payload.
@@ -57,8 +84,23 @@ func (e *Enc) UNID(u nsf.UNID) *Enc { e.buf = append(e.buf, u[:]...); return e }
 // Raw appends bytes without a length prefix (fixed-size fields).
 func (e *Enc) Raw(b []byte) *Enc { e.buf = append(e.buf, b...); return e }
 
-// Note appends an encoded note as a blob.
-func (e *Enc) Note(n *nsf.Note) *Enc { return e.Blob(nsf.EncodeNote(n)) }
+// noteEncPool recycles the scratch buffer notes are encoded into before
+// being length-prefixed onto the payload.
+var noteEncPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Note appends an encoded note as a blob. The encoding runs through a
+// pooled scratch buffer, so serializing notes allocates nothing in steady
+// state.
+func (e *Enc) Note(n *nsf.Note) *Enc {
+	bp := noteEncPool.Get().(*[]byte)
+	enc := nsf.AppendNote((*bp)[:0], n)
+	e.Blob(enc)
+	if cap(enc) <= maxPooledEnc {
+		*bp = enc
+	}
+	noteEncPool.Put(bp)
+	return e
+}
 
 // Summary appends a replication summary.
 func (e *Enc) Summary(s repl.Summary) *Enc {

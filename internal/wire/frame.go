@@ -69,6 +69,13 @@ const (
 	// figures), so failover clients can probe mates cheaply, and it is
 	// answered even while the server is draining.
 	OpAvailability
+	// OpPutBatch stores N documents in one round trip (create-or-update,
+	// in order) through a single admission slot, with the server amortizing
+	// the WAL force across the batch. The request carries a client session
+	// key and a base sequence number; the slim ack carries the server's
+	// durable cursor for that session, so a batch re-sent after a reconnect
+	// skips the already-applied prefix — exactly-once without per-op acks.
+	OpPutBatch
 )
 
 // respBit marks response frames.
