@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath drift clean
+.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement drift clean
 
 all: verify
 
@@ -28,8 +28,8 @@ race:
 # mid-session).
 stress:
 	$(GO) test -race -count=2 \
-		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestGroupCommitRacesMaintenance|TestGroupCommitCrashKeepsAckedPuts|TestGroupCommitAmortization|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession' \
-		./internal/core ./internal/repl ./internal/store ./internal/server
+		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestGroupCommitRacesMaintenance|TestGroupCommitCrashKeepsAckedPuts|TestGroupCommitAmortization|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession|TestConcurrentMovesExactlyOneWinner|TestUpdatePlacementExactlyOneWinnerPerGeneration|TestLiveMoveZeroLostAckedWrites' \
+		./internal/core ./internal/repl ./internal/store ./internal/server ./internal/place ./internal/dir
 
 # Short native-fuzz smoke over the two decoders that guard trust boundaries:
 # the note codec (every WAL record and wire note passes through it) and the
@@ -75,8 +75,15 @@ bench-writepath:
 	$(GO) run ./cmd/experiments -exp W1
 	$(GO) run ./cmd/experiments -exp W7
 
-# Bench drift guard: re-measure W1/W7 at quick sizes and fail if medians
-# regressed >30% against the committed BENCH_writepath.json baseline.
+# Regenerate the placement baseline (BENCH_placement.json): live-move
+# latency under a streaming writer and dead-mate re-home times, both with
+# the zero-lost-acked-writes audit.
+bench-placement:
+	$(GO) run ./cmd/experiments -exp W6
+
+# Bench drift guard: re-measure W1/W7 (write path) and the W6 re-home
+# median at quick sizes; fail on regression beyond each probe's tolerance
+# against the committed BENCH_writepath.json / BENCH_placement.json.
 drift:
 	$(GO) run ./cmd/experiments -exp GUARD -quick
 

@@ -94,6 +94,48 @@ func TestParseConfigErrors(t *testing.T) {
 	}
 }
 
+func TestParseConfigPlacementDirectives(t *testing.T) {
+	path := writeConf(t, `
+name  hub
+data  /tmp/data
+db    apps/app.nsf App
+advertise 10.0.0.1:1352
+placement apps/app.nsf hub,spoke 2
+placement auto 2
+`)
+	cfg, err := parseConfig(path)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.advertise != "10.0.0.1:1352" {
+		t.Errorf("advertise = %q", cfg.advertise)
+	}
+	if len(cfg.placements) != 1 {
+		t.Fatalf("placements = %+v", cfg.placements)
+	}
+	decl := cfg.placements[0]
+	if decl.path != "apps/app.nsf" || len(decl.home) != 2 || decl.home[0] != "hub" ||
+		decl.home[1] != "spoke" || decl.replicas != 2 {
+		t.Errorf("placement decl = %+v", decl)
+	}
+	if cfg.autoPlace != 2 {
+		t.Errorf("autoPlace = %d", cfg.autoPlace)
+	}
+	for _, body := range []string{
+		"name x\ndata /tmp\nadvertise\n",
+		"name x\ndata /tmp\nplacement\n",
+		"name x\ndata /tmp\nplacement db.nsf\n",
+		"name x\ndata /tmp\nplacement db.nsf hub zero\n",
+		"name x\ndata /tmp\nplacement db.nsf hub 0\n",
+		"name x\ndata /tmp\nplacement auto\n",
+		"name x\ndata /tmp\nplacement auto -1\n",
+	} {
+		if _, err := parseConfig(writeConf(t, body)); err == nil {
+			t.Errorf("config accepted: %q", body)
+		}
+	}
+}
+
 func TestParseConfigBackupDirectives(t *testing.T) {
 	path := writeConf(t, `
 name  hub

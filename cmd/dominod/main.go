@@ -33,6 +33,12 @@
 //	maxinflight 256                         # admission control: in-flight cap
 //	admitwait 100ms                         # max queue wait before shedding busy
 //	drain 15s                               # graceful-drain timeout on shutdown
+//	advertise 10.0.0.1:1352                 # address redirects report for this
+//	                                        # mate (when listen is a wildcard)
+//	placement apps/tickets.nsf hub,spoke 2  # pin a database's home mates
+//	                                        # [replica factor]
+//	placement auto 2                        # rendezvous-assign every unpinned
+//	                                        # pre-opened db across the cluster
 //
 // The fault directive (or the -fault flag, which overrides it) wraps the
 // listener in a seeded fault injector — connections randomly dropped,
@@ -97,6 +103,15 @@ type config struct {
 	maxInFlight int
 	admitWait   time.Duration
 	drain       time.Duration // graceful-drain timeout on shutdown
+	advertise   string
+	placements  []placementDecl
+	autoPlace   int // rendezvous-assign unpinned dbs at this replica factor
+}
+
+type placementDecl struct {
+	path     string
+	home     []string
+	replicas int
 }
 
 type agentJob struct {
@@ -282,6 +297,31 @@ func parseConfig(path string) (*config, error) {
 				return nil, bad(err.Error())
 			}
 			cfg.drain = d
+		case "advertise":
+			if len(fields) != 2 {
+				return nil, bad("advertise wants 1 argument")
+			}
+			cfg.advertise = fields[1]
+		case "placement":
+			if len(fields) >= 2 && fields[1] == "auto" {
+				if len(fields) != 3 {
+					return nil, bad("placement auto wants a replica factor")
+				}
+				if _, err := fmt.Sscanf(fields[2], "%d", &cfg.autoPlace); err != nil || cfg.autoPlace <= 0 {
+					return nil, bad("placement auto wants a positive replica factor")
+				}
+				break
+			}
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, bad("placement wants path, home mates, and optionally a replica factor")
+			}
+			decl := placementDecl{path: fields[1], home: strings.Split(fields[2], ",")}
+			if len(fields) == 4 {
+				if _, err := fmt.Sscanf(fields[3], "%d", &decl.replicas); err != nil || decl.replicas <= 0 {
+					return nil, bad("placement wants a positive replica factor")
+				}
+			}
+			cfg.placements = append(cfg.placements, decl)
 		case "agent":
 			if len(fields) != 4 {
 				return nil, bad("agent wants 3 arguments")
@@ -350,6 +390,7 @@ func main() {
 		ArchiveLogDir:     cfg.archiveLog,
 		MaxInFlight:       cfg.maxInFlight,
 		AdmitWait:         cfg.admitWait,
+		AdvertiseAddr:     cfg.advertise,
 	})
 	if err != nil {
 		log.Fatalf("dominod: %v", err)
@@ -398,6 +439,26 @@ func main() {
 	if cfg.monitorN > 0 {
 		srv.EnableMonitor(cfg.monitorN)
 		log.Printf("event monitor enabled (threshold %d changes)", cfg.monitorN)
+	}
+	// Placement records: pins first (a pin wins over auto-assignment), then
+	// rendezvous-assign the remaining pre-opened databases across this mate
+	// and its cluster mates.
+	for _, decl := range cfg.placements {
+		p, err := cfg.directory.SetPlacement(decl.path, decl.home, decl.replicas)
+		if err != nil {
+			log.Fatalf("dominod: placement %s: %v", decl.path, err)
+		}
+		log.Printf("placement %s pinned to %s (gen %d)", p.Path, strings.Join(p.Home, ","), p.Generation)
+	}
+	if cfg.autoPlace > 0 {
+		mates := append([]string{cfg.name}, cfg.clusterWith...)
+		for _, pre := range cfg.preopen {
+			p, err := cfg.directory.AssignPlacement(pre[0], mates, cfg.autoPlace)
+			if err != nil {
+				log.Fatalf("dominod: placement auto %s: %v", pre[0], err)
+			}
+			log.Printf("placement %s assigned to %s (gen %d)", p.Path, strings.Join(p.Home, ","), p.Generation)
+		}
 	}
 
 	stop := make(chan struct{})

@@ -36,8 +36,9 @@ var experiments = []experiment{
 	{"W3", "Online backup: incremental vs full cost, hot-backup interference, restore/PITR", runW3},
 	{"W4", "Read path under concurrent writes: RW latch + snapshot scans + note cache", runW4},
 	{"W5", "Availability: failover window / zero lost acked writes, admission control under overload", runW5},
+	{"W6", "Partitioned namespace: live moves and dead-mate re-homing, zero lost acked writes", runW6},
 	{"W7", "Group-commit write scaling: writers x SyncWAL x group commit", runW7},
-	{"GUARD", "Write-path bench drift guard (W1/W7 vs committed baseline)", runGuard},
+	{"GUARD", "Bench drift guard (W1/W7 write path + W6 re-home vs committed baselines)", runGuard},
 	{"F1", "Incremental replication vs full copy across deltas", runF1},
 	{"F2", "Conflict outcomes vs concurrent-edit overlap", runF2},
 	{"F3", "Full-text query latency: index vs scan", runF3},

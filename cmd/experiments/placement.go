@@ -1,0 +1,468 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	domino "repro"
+)
+
+// --- W6: partitioned namespace — live moves and dead-mate re-homing ---
+//
+// The placement layer's two claims, measured end to end:
+//
+// Phase A: a database moves between mates while a client streams writes
+// through it. The move's drain fence plus the WrongMate redirect protocol
+// mean the client never loses an acknowledged write and lands on the new
+// home without reconfiguration.
+//
+// Phase B: a cluster of three mates homes a namespace of databases by
+// rendezvous placement; one mate (homing about a third of them) is killed.
+// Each of its databases is re-homed onto a survivor from its last hot
+// backup image plus a catch-up pass over the dead disk, and the placement
+// generation flips so clients re-route. The audit walks every write any
+// client saw acknowledged and requires all of them on the new homes.
+
+// w6Result is one measured phase, serialized to BENCH_placement.json as
+// the regression baseline.
+type w6Result struct {
+	Phase          string  `json:"phase"`
+	Databases      int     `json:"databases,omitempty"`
+	Mates          int     `json:"mates,omitempty"`
+	DeadHomed      int     `json:"dead_homed,omitempty"`
+	Acked          int     `json:"acked,omitempty"`
+	LostAcked      int     `json:"lost_acked"`
+	MoveMs         float64 `json:"move_ms,omitempty"`
+	MovedNotes     int     `json:"moved_notes,omitempty"`
+	CatchupRounds  int     `json:"catchup_rounds,omitempty"`
+	Generation     uint64  `json:"generation,omitempty"`
+	Redirects      uint64  `json:"redirects,omitempty"`
+	RehomeMedianMs float64 `json:"rehome_median_ms,omitempty"`
+	RehomeMaxMs    float64 `json:"rehome_max_ms,omitempty"`
+}
+
+// w6Cluster is a shared-directory cluster for the placement experiment.
+type w6Cluster struct {
+	base  string
+	d     *domino.Directory
+	names []string
+	srv   map[string]*domino.Server
+	addr  map[string]string
+}
+
+func newW6Cluster(names ...string) *w6Cluster {
+	base, err := os.MkdirTemp("", "domino-w6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &w6Cluster{
+		base: base, d: domino.NewDirectory(), names: names,
+		srv: map[string]*domino.Server{}, addr: map[string]string{},
+	}
+	c.d.AddUser(domino.User{Name: "ada", Secret: "pw"})
+	for _, name := range names {
+		c.d.AddUser(domino.User{Name: name, Secret: name + "-secret"})
+		s, err := domino.NewServer(domino.ServerOptions{
+			Name: name, DataDir: filepath.Join(base, name),
+			Directory: c.d, PeerSecret: name + "-secret",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.srv[name] = s
+	}
+	for _, name := range names {
+		addr, err := c.srv[name].Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.addr[name] = addr
+	}
+	for _, name := range names {
+		peers := map[string]string{}
+		for _, other := range names {
+			if other != name {
+				peers[other] = c.addr[other]
+			}
+		}
+		c.srv[name].SetPeers(peers)
+	}
+	return c
+}
+
+func (c *w6Cluster) open(mate, path string, replica domino.ReplicaID) *domino.Database {
+	db, err := c.srv[mate].OpenDB(path, domino.Options{Title: path, ReplicaID: replica})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.ACL().Set("ada", domino.Editor)
+	for _, name := range c.names {
+		db.ACL().Set(name, domino.Editor)
+	}
+	return db
+}
+
+func (c *w6Cluster) close() {
+	for _, s := range c.srv {
+		s.Close()
+	}
+	os.RemoveAll(c.base)
+}
+
+func (c *w6Cluster) addrs() []string {
+	out := make([]string, 0, len(c.names))
+	for _, n := range c.names {
+		out = append(out, c.addr[n])
+	}
+	return out
+}
+
+// ackedCreate issues one create through a failover handle with the
+// read-back recovery protocol; it returns false only if the write was
+// never acknowledged anywhere.
+func ackedCreate(db *domino.FailoverDB, n *domino.Note) bool {
+	for attempt := 0; attempt < 2000; attempt++ {
+		if err := db.Create(n); err == nil {
+			return true
+		}
+		if _, gerr := db.Get(n.OID.UNID); gerr == nil {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// w6LiveMove runs Phase A: one database, a streaming writer, a live move
+// under it.
+func w6LiveMove(docs int) w6Result {
+	c := newW6Cluster("alpha", "beta")
+	defer c.close()
+	const path = "apps/move.nsf"
+	c.open("alpha", path, domino.NewReplicaID())
+	if _, err := c.d.SetPlacement(path, []string{"alpha"}, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	fc, err := domino.DialFailover(c.addrs(), "ada", "pw", domino.FailoverOptions{
+		Client: domino.ClientOptions{MaxRetries: -1, BackoffBase: time.Millisecond,
+			BackoffMax: 5 * time.Millisecond, DialTimeout: 2 * time.Second},
+		Cooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fc.Close()
+	db, err := fc.OpenDB(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var acked []domino.UNID
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; !stop.Load(); i++ {
+			n := domino.NewDocument()
+			n.SetText("Subject", fmt.Sprintf("w6 doc %d", i))
+			if ackedCreate(db, n) {
+				mu.Lock()
+				acked = append(acked, n.OID.UNID)
+				mu.Unlock()
+			}
+		}
+	}()
+	waitAcked := func(min int) {
+		for {
+			mu.Lock()
+			n := len(acked)
+			mu.Unlock()
+			if n >= min {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitAcked(docs / 2)
+
+	res, err := domino.MoveDatabase(c.d, c.srv["alpha"], c.srv["beta"], path, domino.MoveOptions{
+		BackupRoot: filepath.Join(c.base, "imgroot"), QuiesceTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The writer must keep acking after the flip — through the stale-cache
+	// redirect — before the audit runs.
+	mu.Lock()
+	atMove := len(acked)
+	mu.Unlock()
+	waitAcked(atMove + docs/2)
+	stop.Store(true)
+	<-done
+
+	lost := 0
+	newHome, _ := c.srv["beta"].DB(path)
+	for _, u := range acked {
+		if _, err := newHome.RawGet(u); err != nil {
+			lost++
+		}
+	}
+	return w6Result{
+		Phase:         "live-move",
+		Acked:         len(acked),
+		LostAcked:     lost,
+		MoveMs:        float64(res.Elapsed.Nanoseconds()) / 1e6,
+		MovedNotes:    res.Moved,
+		CatchupRounds: res.Rounds,
+		Generation:    res.Generation,
+		Redirects:     fc.Stats().WrongMateRedirects,
+	}
+}
+
+// w6Rehome runs Phase B: rendezvous-place a namespace over three mates,
+// kill one, recover its share onto the survivors.
+func w6Rehome(dbs, docs, delta, post int) w6Result {
+	c := newW6Cluster("alpha", "beta", "gamma")
+	defer c.close()
+
+	// Rendezvous-place the namespace, one home mate per database, and open
+	// each database on its home.
+	paths := make([]string, dbs)
+	home := map[string]string{}
+	for i := range paths {
+		paths[i] = fmt.Sprintf("apps/db%02d.nsf", i)
+		p, err := c.d.AssignPlacement(paths[i], c.names, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		home[paths[i]] = p.Home[0]
+		c.open(p.Home[0], paths[i], domino.NewReplicaID())
+	}
+
+	fc, err := domino.DialFailover(c.addrs(), "ada", "pw", domino.FailoverOptions{
+		Client: domino.ClientOptions{MaxRetries: -1, BackoffBase: time.Millisecond,
+			BackoffMax: 5 * time.Millisecond, DialTimeout: 2 * time.Second},
+		Cooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fc.Close()
+	handles := map[string]*domino.FailoverDB{}
+	acked := map[string][]domino.UNID{}
+	write := func(path string, k int) {
+		for i := 0; i < k; i++ {
+			n := domino.NewDocument()
+			n.SetText("Subject", fmt.Sprintf("%s doc %d", path, len(acked[path])))
+			if ackedCreate(handles[path], n) {
+				acked[path] = append(acked[path], n.OID.UNID)
+			}
+		}
+	}
+	for _, path := range paths {
+		h, err := fc.OpenDB(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles[path] = h
+		write(path, docs)
+	}
+
+	// Scheduled hot backups on every mate, then more writes: the delta
+	// exists only on the home mates' disks, beyond the images.
+	for _, name := range c.names {
+		if _, err := c.srv[name].BackupAll(filepath.Join(c.base, "backup-"+name), true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, path := range paths {
+		write(path, delta)
+	}
+
+	// Kill the mate homing the largest share of the namespace.
+	perMate := map[string]int{}
+	for _, h := range home {
+		perMate[h]++
+	}
+	dead := c.names[0]
+	for _, name := range c.names[1:] {
+		if perMate[name] > perMate[dead] {
+			dead = name
+		}
+	}
+	c.srv[dead].Close()
+
+	// Re-home every database the dead mate homed onto the survivors
+	// (round-robin), from its backup image plus the dead disk.
+	survivors := make([]string, 0, len(c.names)-1)
+	for _, name := range c.names {
+		if name != dead {
+			survivors = append(survivors, name)
+		}
+	}
+	var rehomeTimes []time.Duration
+	deadHomed := 0
+	next := 0
+	for _, path := range paths {
+		if home[path] != dead {
+			continue
+		}
+		deadHomed++
+		dst := survivors[next%len(survivors)]
+		next++
+		res, err := domino.RecoverDatabase(c.d, dead, c.srv[dst], path, domino.RecoverOptions{
+			BackupRoot:  filepath.Join(c.base, "backup-"+dead),
+			DeadDataDir: filepath.Join(c.base, dead),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		home[path] = dst
+		rehomeTimes = append(rehomeTimes, res.Elapsed)
+	}
+
+	// The pre-kill handles are stale: their cached placement names the dead
+	// mate. Writing through them exercises the redirect/re-resolve path.
+	for _, path := range paths {
+		write(path, post)
+	}
+
+	// Audit: every write any client saw acknowledged exists on the
+	// database's current home.
+	total, lost := 0, 0
+	for _, path := range paths {
+		db, ok := c.srv[home[path]].DB(path)
+		if !ok {
+			log.Fatalf("w6: %s has no copy of %s", home[path], path)
+		}
+		for _, u := range acked[path] {
+			total++
+			if _, err := db.RawGet(u); err != nil {
+				lost++
+			}
+		}
+	}
+	sort.Slice(rehomeTimes, func(i, j int) bool { return rehomeTimes[i] < rehomeTimes[j] })
+	res := w6Result{
+		Phase:     "rehome",
+		Databases: dbs,
+		Mates:     len(c.names),
+		DeadHomed: deadHomed,
+		Acked:     total,
+		LostAcked: lost,
+		Redirects: fc.Stats().WrongMateRedirects,
+	}
+	if len(rehomeTimes) > 0 {
+		res.RehomeMedianMs = float64(percentile(rehomeTimes, 0.50).Nanoseconds()) / 1e6
+		res.RehomeMaxMs = float64(rehomeTimes[len(rehomeTimes)-1].Nanoseconds()) / 1e6
+	}
+	return res
+}
+
+const placementBaselineFile = "BENCH_placement.json"
+
+// loadPlacementBaseline reads the committed W6 baseline (nil when absent).
+func loadPlacementBaseline() []w6Result {
+	raw, err := os.ReadFile(placementBaselineFile)
+	if err != nil {
+		return nil
+	}
+	var results []w6Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		return nil
+	}
+	return results
+}
+
+// W6 drift tolerances: a re-home is wall-clock dominated (backup restore,
+// file replication, directory flip), so the guard is generous — it hunts a
+// broken move pipeline, not scheduler noise.
+const (
+	w6DriftRatio = 2.0  // fail when worse than baseline by more than 2x
+	w6FloorMs    = 50.0 // and by more than 50ms
+)
+
+// guardW6 re-measures the dead-mate re-home median at quick sizes against
+// the committed BENCH_placement.json; returns a failure message or "".
+func guardW6(t *table) string {
+	var want float64
+	for _, r := range loadPlacementBaseline() {
+		if r.Phase == "rehome" {
+			want = r.RehomeMedianMs
+		}
+	}
+	if want == 0 {
+		return "W6 rehome median missing from baseline; run `make bench-placement` and commit " + placementBaselineFile
+	}
+	got := 0.0
+	for trial := 0; trial < driftTrials; trial++ {
+		r := w6Rehome(6, 8, 4, 0)
+		if r.LostAcked > 0 {
+			return fmt.Sprintf("W6 re-home lost %d acked writes", r.LostAcked)
+		}
+		if trial == 0 || r.RehomeMedianMs < got {
+			got = r.RehomeMedianMs
+		}
+	}
+	verdict := "ok"
+	msg := ""
+	if got > want*w6DriftRatio && got > want+w6FloorMs {
+		verdict = "REGRESSED"
+		msg = fmt.Sprintf("W6 rehome median %.1fms vs baseline %.1fms", got, want)
+	}
+	t.add("W6 rehome median", fmt.Sprintf("%.1fms", want), fmt.Sprintf("%.1fms", got), verdict)
+	return msg
+}
+
+func runW6(quick bool) {
+	var results []w6Result
+
+	mv := w6LiveMove(pick(quick, 40, 16))
+	results = append(results, mv)
+	ta := newTable("acked", "lost acked", "move ms", "notes moved", "rounds", "gen", "redirects")
+	ta.add(mv.Acked, mv.LostAcked, fmt.Sprintf("%.1f", mv.MoveMs), mv.MovedNotes,
+		mv.CatchupRounds, fmt.Sprint(mv.Generation), fmt.Sprint(mv.Redirects))
+	fmt.Println("  Phase A: live move under a streaming writer")
+	ta.print()
+	if mv.LostAcked != 0 {
+		fmt.Printf("  !! %d acknowledged writes lost across the move\n", mv.LostAcked)
+	} else {
+		fmt.Println("  (invariant: zero acknowledged writes lost across the move)")
+	}
+
+	re := w6Rehome(pick(quick, 12, 6), pick(quick, 20, 8), pick(quick, 8, 4), pick(quick, 6, 3))
+	results = append(results, re)
+	tb := newTable("dbs", "mates", "dead homed", "acked", "lost acked",
+		"rehome median ms", "rehome max ms", "redirects")
+	tb.add(re.Databases, re.Mates, re.DeadHomed, re.Acked, re.LostAcked,
+		fmt.Sprintf("%.1f", re.RehomeMedianMs), fmt.Sprintf("%.1f", re.RehomeMaxMs),
+		fmt.Sprint(re.Redirects))
+	fmt.Println("  Phase B: kill the mate homing the largest namespace share, re-home onto survivors")
+	tb.print()
+	if re.LostAcked != 0 {
+		fmt.Printf("  !! %d acknowledged writes lost across the re-home\n", re.LostAcked)
+	} else {
+		fmt.Println("  (invariant: zero acknowledged writes lost across the mate kill + re-home)")
+	}
+
+	f, err := os.Create("BENCH_placement.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Println("  baseline written to BENCH_placement.json")
+}

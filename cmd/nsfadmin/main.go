@@ -15,6 +15,9 @@
 //	nsfadmin backup  DB.nsf SETDIR [-incremental]
 //	nsfadmin restore SETDIR TARGET.nsf [-usn N] [-archive DIR]
 //	nsfadmin verifybackup SETDIR [-archive DIR]
+//	nsfadmin placement list HOST:PORT
+//	nsfadmin placement resolve HOST:PORT DB.nsf
+//	nsfadmin placement move SRC.nsf TARGET.nsf [-root DIR]
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	domino "repro"
@@ -29,7 +33,7 @@ import (
 
 func main() {
 	if len(os.Args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify|archive|backup|restore|verifybackup> DB.nsf [flags]")
+		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify|archive|backup|restore|verifybackup|placement> DB.nsf [flags]")
 		os.Exit(2)
 	}
 	cmd, path, rest := os.Args[1], os.Args[2], os.Args[3:]
@@ -43,6 +47,11 @@ func main() {
 		return
 	case "verifybackup":
 		if err := cmdVerifyBackup(path, rest); err != nil {
+			log.Fatalf("nsfadmin: %v", err)
+		}
+		return
+	case "placement":
+		if err := cmdPlacement(path, rest); err != nil {
 			log.Fatalf("nsfadmin: %v", err)
 		}
 		return
@@ -295,6 +304,94 @@ func cmdVerifyBackup(setDir string, args []string) error {
 		fmt.Println("PROBLEM:", p)
 	}
 	return fmt.Errorf("%d problems found", len(r.Problems))
+}
+
+// cmdPlacement administers the partitioned namespace. list and resolve use
+// the unauthenticated resolve probe against a running mate (answered even
+// while it drains); move is the offline image move — snapshot a source file
+// into a backup set and materialize it at the target path — for relocating
+// a database between data directories when the servers are down. Live moves
+// belong to the running cluster (dominod's rebalancer / MoveDatabase).
+func cmdPlacement(sub string, args []string) error {
+	switch sub {
+	case "list":
+		if len(args) < 1 {
+			return fmt.Errorf("placement list: server address required")
+		}
+		records, err := domino.ListPlacements(args[0], 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if len(records) == 0 {
+			fmt.Println("no placement records (all databases served by every mate)")
+			return nil
+		}
+		for _, rec := range records {
+			fmt.Println(formatPlacement(rec))
+		}
+		return nil
+	case "resolve":
+		if len(args) < 2 {
+			return fmt.Errorf("placement resolve: server address and database path required")
+		}
+		rec, err := domino.ResolvePlacement(args[0], args[1], 5*time.Second)
+		if err != nil {
+			return err
+		}
+		if rec.Unplaced() {
+			fmt.Printf("%-24s unplaced (served by every mate)\n", args[1])
+			return nil
+		}
+		fmt.Println(formatPlacement(rec))
+		return nil
+	case "move":
+		if len(args) < 2 {
+			return fmt.Errorf("placement move: source and target database paths required")
+		}
+		src, target, rest := args[0], args[1], args[2:]
+		fs := flag.NewFlagSet("placement move", flag.ExitOnError)
+		root := fs.String("root", "", "backup-set directory to stage the image in (default: alongside the target)")
+		fs.Parse(rest)
+		setDir := *root
+		if setDir == "" {
+			setDir = target + ".move.bak"
+		}
+		db, err := domino.Open(src, domino.Options{})
+		if err != nil {
+			return err
+		}
+		img, err := db.Backup(setDir)
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		moved, info, err := domino.RestoreDatabase(setDir, target, domino.RestoreOptions{}, domino.Options{})
+		if err != nil {
+			return err
+		}
+		defer moved.Close()
+		fmt.Printf("imaged %s (USN %d, %d bytes) -> %s (%d notes through USN %d)\n",
+			src, img.EndUSN, img.Size, target, moved.Count(), info.ReachedUSN)
+		fmt.Println("source left in place; update the directory placement record before serving the copy")
+		return nil
+	default:
+		return fmt.Errorf("unknown placement subcommand %q (want list, resolve, or move)", sub)
+	}
+}
+
+func formatPlacement(rec domino.ResolveInfo) string {
+	homes := make([]string, 0, len(rec.Homes))
+	for _, h := range rec.Homes {
+		if h.Addr != "" {
+			homes = append(homes, h.Name+"="+h.Addr)
+		} else {
+			homes = append(homes, h.Name)
+		}
+	}
+	return fmt.Sprintf("%-24s gen=%-4d replicas=%d home=%s",
+		rec.Path, rec.Generation, rec.Replicas, strings.Join(homes, ","))
 }
 
 func cmdACL(db *domino.Database) error {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/formula"
 	"repro/internal/ft"
 	"repro/internal/nsf"
+	"repro/internal/place"
 	"repro/internal/repl"
 	"repro/internal/router"
 	"repro/internal/server"
@@ -279,6 +280,59 @@ func ProbeAvailability(addr string, timeout time.Duration) (AvailabilityInfo, er
 // RetryableError reports whether err is a transient transport failure that
 // a retry on a fresh connection may cure (server-reported errors are not).
 func RetryableError(err error) bool { return wire.Retryable(err) }
+
+// Placement and rebalancing.
+type (
+	// Placement is a directory placement record: which cluster mates home
+	// a database, stamped with a compare-and-swap generation.
+	Placement = dir.Placement
+	// ResolveInfo is a placement record resolved over the wire.
+	ResolveInfo = wire.ResolveInfo
+	// HomeAddr names one home mate and its address.
+	HomeAddr = wire.HomeAddr
+	// WrongMateError is a placement redirect: the mate does not home the
+	// database and answers with the authoritative home set instead of
+	// executing the request.
+	WrongMateError = wire.WrongMateError
+	// MoveOptions tune a live database move.
+	MoveOptions = place.MoveOptions
+	// MoveResult describes a committed move or re-home.
+	MoveResult = place.MoveResult
+	// RecoverOptions tune re-homing a database off a dead mate.
+	RecoverOptions = place.RecoverOptions
+)
+
+var (
+	// ErrWrongMate matches any WrongMateError via errors.Is.
+	ErrWrongMate = wire.ErrWrongMate
+	// ErrPlacementConflict reports a lost placement compare-and-swap:
+	// another writer committed the generation first.
+	ErrPlacementConflict = dir.ErrPlacementConflict
+)
+
+// MoveDatabase relocates one database from src to dst while both keep
+// serving, then flips the directory placement record so clients re-route.
+// Exactly one concurrent move of a database wins per generation.
+func MoveDatabase(d *Directory, src, dst *Server, path string, opts MoveOptions) (MoveResult, error) {
+	return place.Move(d, src, dst, path, opts)
+}
+
+// RecoverDatabase re-homes one database off a dead mate onto dst from its
+// last backup image, optionally catching up from the dead data directory.
+func RecoverDatabase(d *Directory, deadName string, dst *Server, path string, opts RecoverOptions) (MoveResult, error) {
+	return place.Recover(d, deadName, dst, path, opts)
+}
+
+// ResolvePlacement asks a server for one database's placement without
+// authenticating (answered even in RESTRICTED drain mode).
+func ResolvePlacement(addr, path string, timeout time.Duration) (ResolveInfo, error) {
+	return wire.ResolvePlacement(addr, path, nil, timeout)
+}
+
+// ListPlacements lists every placement record a server's directory holds.
+func ListPlacements(addr string, timeout time.Duration) ([]ResolveInfo, error) {
+	return wire.ListPlacements(addr, nil, timeout)
+}
 
 // Backup and media recovery.
 type (

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // User is a person or server entry.
@@ -27,16 +28,21 @@ type User struct {
 // Directory is an in-memory user/group registry. It is safe for concurrent
 // use.
 type Directory struct {
-	mu     sync.RWMutex
-	users  map[string]User     // lower(name) -> user
-	groups map[string][]string // lower(group) -> member names (users or groups)
+	mu         sync.RWMutex
+	users      map[string]User      // lower(name) -> user
+	groups     map[string][]string  // lower(group) -> member names (users or groups)
+	groupNames map[string]string    // lower(group) -> registered capitalization
+	places     map[string]Placement // lower(db path) -> placement record
+	placeVer   atomic.Uint64        // bumped on every placement mutation
 }
 
 // New returns an empty directory.
 func New() *Directory {
 	return &Directory{
-		users:  make(map[string]User),
-		groups: make(map[string][]string),
+		users:      make(map[string]User),
+		groups:     make(map[string][]string),
+		groupNames: make(map[string]string),
+		places:     make(map[string]Placement),
 	}
 }
 
@@ -68,6 +74,7 @@ func (d *Directory) AddGroup(name string, members ...string) error {
 		return fmt.Errorf("dir: %q already exists as a user", name)
 	}
 	d.groups[key(name)] = append([]string(nil), members...)
+	d.groupNames[key(name)] = strings.TrimSpace(name)
 	return nil
 }
 
@@ -126,9 +133,14 @@ func (d *Directory) GroupsOf(user string) []string {
 }
 
 // groupDisplayName returns the stored capitalization; the map key is the
-// lower-cased name, so recover a display name from members of other groups
-// or fall back to the key.
-func (d *Directory) groupDisplayName(k string) string { return k }
+// lower-cased name, so recover the name registered by AddGroup or fall back
+// to the key. Callers hold d.mu.
+func (d *Directory) groupDisplayName(k string) string {
+	if n, ok := d.groupNames[k]; ok {
+		return n
+	}
+	return k
+}
 
 // Members returns the direct members of a group.
 func (d *Directory) Members(group string) ([]string, bool) {

@@ -60,6 +60,17 @@ func backupSetDirFor(root, key string) string {
 	return filepath.Join(root, filepath.FromSlash(key)+".bak")
 }
 
+// BackupSetDir returns the backup-set directory a database path backs up
+// into under root — the location BackupDB writes and RestoreDB reads. The
+// rebalancer uses it to find a dead mate's images when re-homing.
+func BackupSetDir(root, path string) (string, error) {
+	key, err := cleanDBPath(path)
+	if err != nil {
+		return "", err
+	}
+	return backupSetDirFor(root, key), nil
+}
+
 // BackupDB backs up one open database into its set directory under root.
 // With full=false it appends an incremental image (falling back to a full
 // image when the set is empty). The result is recorded for the catalog.

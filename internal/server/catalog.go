@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/nsf"
@@ -80,6 +81,17 @@ func (s *Server) RefreshCatalog() (int, error) {
 		}
 		n.SetNumber("ChangeResyncs", resyncs)
 		n.SetNumber("ChangeDroppedSubs", dropped)
+		// Placement: which mates home this database and at what generation.
+		// "*" means unplaced — any mate serves it.
+		if p, ok := s.opts.Directory.GetPlacement(path); ok {
+			n.SetWithFlags("PlacementHome", nsf.TextValue(strings.Join(p.Home, ",")), nsf.FlagSummary)
+			n.SetNumber("PlacementGen", float64(p.Generation))
+			n.SetNumber("PlacementReplicas", float64(p.Replicas))
+		} else {
+			n.SetWithFlags("PlacementHome", nsf.TextValue("*"), nsf.FlagSummary)
+			n.SetNumber("PlacementGen", 0)
+			n.SetNumber("PlacementReplicas", 0)
+		}
 		// Backup health: the USN the newest image captured and how stale it
 		// is. BackupAgeSecs is -1 for a database never backed up this run —
 		// the monitorable "this database has no recent backup" signal.

@@ -26,6 +26,9 @@ type handleState struct {
 	db   *core.Database
 	sess *core.Session
 	path string
+	// placeVer is the directory placement version this handle last passed
+	// a home check against; ops re-verify only when the version moves.
+	placeVer uint64
 }
 
 // handleConn runs the request loop for one connection. Reads and writes
@@ -53,6 +56,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			// Probes answer unauthenticated and even while draining, so a
 			// failover client can always read the mate's state.
 			resp = s.availabilityResp()
+		case op == wire.OpResolve:
+			// Placement resolves are routing metadata, answered like probes:
+			// pre-auth and during drain, so clients can locate a database's
+			// home mates even through a mate that is leaving.
+			resp = s.resolveResp(wire.NewDec(payload[1:]))
 		case s.draining.Load():
 			// RESTRICTED: refuse new sessions outright, shed everything
 			// else with a busy response that says "go to a mate".
@@ -153,6 +161,12 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		err = fmt.Errorf("unknown operation %#x", byte(op))
 	}
 	if err != nil {
+		var wm *wrongMateError
+		if errors.As(err, &wm) {
+			// Placement redirect: not an application error — the body
+			// carries the home set so the client can re-route.
+			return wm.resp(op)
+		}
 		return fail(op, err)
 	}
 	return resp
@@ -182,7 +196,17 @@ func (c *connState) openDB(d *wire.Dec) (*wire.Enc, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	db, ok := c.s.DB(path)
+	key, err := cleanDBPath(path)
+	if err != nil {
+		return nil, err
+	}
+	// Placement gates the open before existence: a mate that still has the
+	// file after a move (or never had it) must redirect, not serve.
+	placeVer := c.s.opts.Directory.PlacementVersion()
+	if err := c.s.checkHomed(key); err != nil {
+		return nil, err
+	}
+	db, ok := c.s.DB(key)
 	if !ok {
 		// Only pre-opened databases are reachable remotely; opening
 		// arbitrary paths would let clients create databases.
@@ -194,7 +218,7 @@ func (c *connState) openDB(d *wire.Dec) (*wire.Enc, error) {
 	}
 	h := c.nextH
 	c.nextH++
-	c.handles[h] = &handleState{db: db, sess: sess, path: path}
+	c.handles[h] = &handleState{db: db, sess: sess, path: key, placeVer: placeVer}
 	replica := db.ReplicaID()
 	return wire.NewResp(wire.OpOpenDB, wire.StatusOK).
 		U32(h).Raw(replica[:]).Str(db.Title()), nil
@@ -205,6 +229,14 @@ func (c *connState) handle(d *wire.Dec) (*handleState, error) {
 	hs, ok := c.handles[h]
 	if !ok {
 		return nil, fmt.Errorf("bad database handle %d", h)
+	}
+	// Re-verify placement only when the directory moved something since
+	// this handle's last check — the hot path costs one atomic load.
+	if v := c.s.opts.Directory.PlacementVersion(); v != hs.placeVer {
+		if err := c.s.checkHomed(hs.path); err != nil {
+			return nil, err
+		}
+		hs.placeVer = v
 	}
 	return hs, nil
 }

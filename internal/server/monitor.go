@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -133,5 +134,14 @@ func (s *Server) MonitorReport() []string {
 		health += fmt.Sprintf(" dropped[%s]=%d", mateName, s.DroppedByMate()[mateName])
 	}
 	out = append(out, health)
+	// Placement records, so the report shows where each database routes.
+	for _, p := range s.opts.Directory.Placements() {
+		homed := ""
+		if !p.HasHome(s.opts.Name) {
+			homed = " (not homed here)"
+		}
+		out = append(out, fmt.Sprintf("placement %s: gen=%d replicas=%d home=%s%s",
+			p.Path, p.Generation, p.Replicas, strings.Join(p.Home, ","), homed))
+	}
 	return out
 }

@@ -44,6 +44,11 @@ type Options struct {
 	// PeerSecret authenticates this server to its peers (looked up in
 	// their directories under Name).
 	PeerSecret string
+	// AdvertiseAddr is the address placement resolves report for this
+	// server (OpResolve home sets, WrongMate redirects). Empty uses the
+	// bound listener address, which is right for single-host tests but
+	// not behind NAT or 0.0.0.0 binds.
+	AdvertiseAddr string
 	// IdleTimeout bounds how long a connection may sit without delivering
 	// a complete request frame before the server drops it; it also bounds
 	// how long a half-sent frame can stall the handler. 0 uses the 5m

@@ -188,9 +188,12 @@ func (c *Client) reconnectLocked() error {
 	for db := range c.dbs {
 		if err := c.openLocked(db); err != nil {
 			var se *ServerError
-			if errors.As(err, &se) {
-				// The database vanished server-side; poison only this
-				// handle, the session itself is healthy.
+			var wme *WrongMateError
+			if errors.As(err, &se) || errors.As(err, &wme) {
+				// The database vanished server-side or moved to another
+				// mate; poison only this handle, the session itself is
+				// healthy. A failover client turns the poisoned redirect
+				// into a re-route on the handle's next use.
 				db.stale = err
 				continue
 			}
@@ -259,6 +262,11 @@ func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
 			state, idx = StateOpen, 0
 		}
 		return nil, &BusyError{Op: op, State: state, Availability: int(idx)}
+	case StatusWrongMate:
+		// Placement redirect: this mate does not home the database and the
+		// request never executed. The connection stays healthy; only a
+		// failover client (which can switch mates) makes progress on this.
+		return nil, decWrongMate(op, d)
 	default:
 		msg := d.Str()
 		if d.Err() != nil {

@@ -49,6 +49,39 @@ var ErrServerBusy = errors.New("wire: server busy")
 // Is lets errors.Is(err, ErrServerBusy) match shed responses.
 func (e *BusyError) Is(target error) bool { return target == ErrServerBusy }
 
+// HomeAddr is one entry of a resolved placement: a cluster-mate name and the
+// wire address it serves on (empty if the resolving server does not know it).
+type HomeAddr struct {
+	Name string
+	Addr string
+}
+
+// WrongMateError is a placement redirect (StatusWrongMate): the contacted
+// mate does not home the database, and the request was NOT executed. The
+// error carries the placement generation and home set the server knows, so a
+// failover client can refresh its cache and re-route; like a busy shed,
+// re-sending is safe even for non-idempotent operations. A bare Client does
+// not retry these — routing is the FailoverClient's job.
+type WrongMateError struct {
+	Op   Op
+	Path string
+	// Generation is the placement generation at the redirecting server.
+	Generation uint64
+	// Homes is the home set: the mates that do serve the database.
+	Homes []HomeAddr
+}
+
+func (e *WrongMateError) Error() string {
+	return fmt.Sprintf("wire: wrong mate for %s (placement generation %d, %d homes)",
+		e.Path, e.Generation, len(e.Homes))
+}
+
+// ErrWrongMate matches any WrongMateError via errors.Is.
+var ErrWrongMate = errors.New("wire: wrong mate")
+
+// Is lets errors.Is(err, ErrWrongMate) match placement redirects.
+func (e *WrongMateError) Is(target error) bool { return target == ErrWrongMate }
+
 // ErrClosed is returned by operations on a client after Close.
 var ErrClosed = errors.New("wire: client closed")
 
@@ -73,6 +106,12 @@ func Retryable(err error) bool {
 	}
 	var se *ServerError
 	if errors.As(err, &se) {
+		return false
+	}
+	var wme *WrongMateError
+	if errors.As(err, &wme) {
+		// Retrying on the SAME connection would redirect again; only a
+		// failover client, which can change mates, can make progress.
 		return false
 	}
 	var be *BusyError

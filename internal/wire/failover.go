@@ -83,6 +83,7 @@ const (
 // are guarded by FailoverClient.mu.
 type mate struct {
 	addr       string
+	name       string // cluster-mate name, learned from placement records
 	state      int
 	fails      int
 	openedAt   time.Time
@@ -106,6 +107,11 @@ type FailoverStats struct {
 	Failovers uint64
 	// BusyRedirects is how many shed (busy) responses caused a mate switch.
 	BusyRedirects uint64
+	// WrongMateRedirects is how many placement redirects re-routed the
+	// session to a home mate.
+	WrongMateRedirects uint64
+	// Resolves is how many OpResolve placement lookups were issued.
+	Resolves uint64
 	// Probes is how many availability probes were sent.
 	Probes uint64
 }
@@ -125,6 +131,9 @@ type FailoverClient struct {
 	dbs    map[*FailoverDB]struct{}
 	closed bool
 	stats  FailoverStats
+	// routeHint, while an operation on a specific database is in flight,
+	// biases connection attempts toward that database's home mates.
+	routeHint *FailoverDB
 }
 
 // DialFailover connects to the best available mate and authenticates.
@@ -265,7 +274,88 @@ func (fc *FailoverClient) candidatesLocked() []int {
 	}
 	byAvail(healthy)
 	byAvail(fallback)
-	return append(healthy, fallback...)
+	order := append(healthy, fallback...)
+	// When the attempt is on behalf of a placed database, its home mates go
+	// first (stably, keeping the availability order within each partition):
+	// dialing a non-home mate can only earn a redirect. Non-home mates stay
+	// as fallback — they can still teach us fresher placement.
+	if hint := fc.routeHint; hint != nil && hint.resolved && len(hint.homes) > 0 {
+		var home, rest []int
+		for _, i := range order {
+			if hint.homesMate(fc.mates[i]) {
+				home = append(home, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		order = append(home, rest...)
+	}
+	return order
+}
+
+// homesMate reports whether m is in the database's cached home set, matched
+// by address or learned mate name.
+func (f *FailoverDB) homesMate(m *mate) bool {
+	for _, h := range f.homes {
+		if h.Addr != "" && h.Addr == m.addr {
+			return true
+		}
+		if h.Name != "" && m.name != "" && h.Name == m.name {
+			return true
+		}
+	}
+	return false
+}
+
+// noteRecordLocked folds a placement record (from an OpResolve or a
+// StatusWrongMate redirect) into the client: every matching database handle
+// with an older generation adopts it, and home addresses we have never seen
+// become new mates — a redirect can teach the client about cluster members
+// it was not configured with.
+func (fc *FailoverClient) noteRecordLocked(path string, gen uint64, homes []HomeAddr) {
+	for db := range fc.dbs {
+		if db.path != path {
+			continue
+		}
+		if db.resolved && gen < db.gen {
+			continue // stale record: keep the fresher cache
+		}
+		db.gen = gen
+		db.homes = append([]HomeAddr(nil), homes...)
+		db.resolved = true
+	}
+	for _, h := range homes {
+		if h.Addr == "" {
+			continue
+		}
+		known := false
+		for _, m := range fc.mates {
+			if m.addr == h.Addr {
+				if m.name == "" {
+					m.name = h.Name
+				}
+				known = true
+				break
+			}
+		}
+		if !known {
+			fc.mates = append(fc.mates, &mate{addr: h.Addr, name: h.Name, avail: -1})
+		}
+	}
+}
+
+// offHomeLocked returns a synthetic redirect when db's cached placement says
+// the currently connected mate does not home it — saving the round trip the
+// server would refuse anyway.
+func (fc *FailoverClient) offHomeLocked(db *FailoverDB) error {
+	if !db.resolved || len(db.homes) == 0 || fc.cur < 0 {
+		return nil
+	}
+	if db.homesMate(fc.mates[fc.cur]) {
+		return nil
+	}
+	return &WrongMateError{Op: OpOpenDB, Path: db.path, Generation: db.gen,
+		Homes: append([]HomeAddr(nil), db.homes...)}
 }
 
 // connectLocked dials the best candidate mate, authenticates, and re-opens
@@ -323,13 +413,21 @@ func (fc *FailoverClient) connectLocked() error {
 }
 
 // rebindLocked re-opens every registered handle on a fresh client. A
-// database missing on this mate poisons only that handle (matching the
-// Client reconnect rules); transport errors fail the whole attempt.
+// database missing on this mate — or homed elsewhere (placement redirect) —
+// poisons only that handle (matching the Client reconnect rules); transport
+// errors fail the whole attempt. A redirect also refreshes that handle's
+// placement cache, so its next operation re-routes instead of failing.
 func (fc *FailoverClient) rebindLocked(c *Client) error {
 	for db := range fc.dbs {
 		r, err := c.OpenDB(db.path)
 		if err != nil {
 			var se *ServerError
+			var wme *WrongMateError
+			if errors.As(err, &wme) {
+				fc.noteRecordLocked(wme.Path, wme.Generation, wme.Homes)
+				db.r, db.stale = nil, err
+				continue
+			}
 			if errors.As(err, &se) {
 				db.r, db.stale = nil, err
 				continue
@@ -341,13 +439,21 @@ func (fc *FailoverClient) rebindLocked(c *Client) error {
 	return nil
 }
 
-// withFailover runs fn with mate failover: shed (busy) responses and —
-// for idempotent operations — transport failures move the session to the
-// next-best mate and retry, bounded by MaxFailovers. Application errors
-// never fail over.
+// withFailover runs fn with mate failover: shed (busy) responses, placement
+// redirects, and — for idempotent operations — transport failures move the
+// session to the next-best mate and retry, bounded by MaxFailovers.
+// Application errors never fail over.
 func (fc *FailoverClient) withFailover(idempotent bool, fn func() error) error {
+	return fc.withFailoverDB(nil, idempotent, fn)
+}
+
+// withFailoverDB is withFailover with connection attempts biased toward
+// db's home mates (nil db means no bias).
+func (fc *FailoverClient) withFailoverDB(db *FailoverDB, idempotent bool, fn func() error) error {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
+	fc.routeHint = db
+	defer func() { fc.routeHint = nil }()
 	for switches := 0; ; switches++ {
 		if fc.closed {
 			return ErrClosed
@@ -371,6 +477,20 @@ func (fc *FailoverClient) withFailover(idempotent bool, fn func() error) error {
 			m.avail = be.Availability
 			m.restricted = be.State == StateRestricted
 			fc.stats.BusyRedirects++
+			fc.abandonLocked()
+			if switches >= fc.opts.MaxFailovers {
+				return err
+			}
+			continue
+		}
+		var wme *WrongMateError
+		if errors.As(err, &wme) {
+			// Placement redirect: the request never executed. Adopt the
+			// carried home set (fresher generation wins), then reconnect —
+			// the route hint steers the dial to a home mate. Safe for
+			// non-idempotent operations, like a busy shed.
+			fc.noteRecordLocked(wme.Path, wme.Generation, wme.Homes)
+			fc.stats.WrongMateRedirects++
 			fc.abandonLocked()
 			if switches >= fc.opts.MaxFailovers {
 				return err
@@ -425,12 +545,32 @@ func (fc *FailoverClient) OpenDB(path string) (*FailoverDB, error) {
 	db := &FailoverDB{fc: fc, path: path}
 	fc.dbs[db] = struct{}{} // registered first so a failover rebinds it too
 	fc.mu.Unlock()
-	err := fc.withFailover(true, func() error {
+	err := fc.withFailoverDB(db, true, func() error {
 		if db.r != nil {
 			return nil // a connectLocked rebind already bound it
 		}
 		if db.stale != nil {
-			return db.stale // this mate lacks the database
+			return db.stale // this mate lacks (or does not home) the database
+		}
+		if !db.resolved {
+			// Eager resolve on first open: one cheap pre-auth-grade RPC on
+			// the live session tells us the home set before we risk a
+			// redirect. A resolve failure is not fatal — the open itself
+			// carries the same information in its redirect.
+			fc.stats.Resolves++
+			if info, rerr := fc.client.Resolve(db.path); rerr == nil {
+				fc.noteRecordLocked(info.Path, info.Generation, info.Homes)
+				if !db.resolved || info.Generation >= db.gen {
+					db.gen = info.Generation
+					db.homes = append([]HomeAddr(nil), info.Homes...)
+					db.resolved = true
+				}
+			}
+		}
+		// With a fresh cache, redirect ourselves instead of asking a mate
+		// we know is wrong.
+		if werr := fc.offHomeLocked(db); werr != nil {
+			return werr
 		}
 		r, err := fc.client.OpenDB(db.path)
 		if err != nil {
@@ -459,6 +599,21 @@ type FailoverDB struct {
 	// Both are guarded by fc.mu.
 	r     *RemoteDB
 	stale error
+	// Placement cache, guarded by fc.mu: the generation-stamped home set
+	// from the last resolve or redirect. resolved=false means never
+	// resolved; resolved with no homes means unplaced (any mate serves).
+	gen      uint64
+	homes    []HomeAddr
+	resolved bool
+}
+
+// Placement returns the handle's cached placement: the generation and home
+// set learned from the last resolve or redirect, and whether any resolution
+// has happened yet.
+func (f *FailoverDB) Placement() (gen uint64, homes []HomeAddr, resolved bool) {
+	f.fc.mu.Lock()
+	defer f.fc.mu.Unlock()
+	return f.gen, append([]HomeAddr(nil), f.homes...), f.resolved
 }
 
 var _ repl.Peer = (*FailoverDB)(nil)
@@ -486,9 +641,10 @@ func (f *FailoverDB) Release() {
 	delete(f.fc.dbs, f)
 }
 
-// do runs one operation against the handle on whichever mate is current.
+// do runs one operation against the handle on whichever mate is current,
+// with connection attempts biased toward this database's home mates.
 func (f *FailoverDB) do(idempotent bool, fn func(r *RemoteDB) error) error {
-	return f.fc.withFailover(idempotent, func() error {
+	return f.fc.withFailoverDB(f, idempotent, func() error {
 		if f.stale != nil {
 			return f.stale
 		}
@@ -572,6 +728,19 @@ func (f *FailoverDB) Update(n *nsf.Note) error {
 // Delete replaces a document with a deletion stub (idempotent).
 func (f *FailoverDB) Delete(unid nsf.UNID) error {
 	return f.do(true, func(r *RemoteDB) error { return r.Delete(unid) })
+}
+
+// PutBatch stores documents create-or-update through one round trip. The
+// batch cursor makes it exactly-once even across failover or a placement
+// redirect mid-stream, so it retries as idempotent.
+func (f *FailoverDB) PutBatch(notes []*nsf.Note) (int, error) {
+	var stored int
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		stored, err = r.PutBatch(notes)
+		return err
+	})
+	return stored, err
 }
 
 // Search runs a full-text query on the current mate.

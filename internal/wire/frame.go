@@ -76,6 +76,13 @@ const (
 	// durable cursor for that session, so a batch re-sent after a reconnect
 	// skips the already-applied prefix — exactly-once without per-op acks.
 	OpPutBatch
+	// OpResolve asks the server where a database lives: the response carries
+	// the placement generation and the (mate name, address) home set from the
+	// directory. Like OpAvailability it is answered before authentication and
+	// while draining — placement is routing metadata, not data — so failover
+	// clients can resolve without a session. An empty path lists every
+	// placement record.
+	OpResolve
 )
 
 // respBit marks response frames.
@@ -90,6 +97,12 @@ const (
 	// the server state and availability index so the client can redirect
 	// to a less-loaded cluster mate.
 	StatusBusy
+	// StatusWrongMate is a placement redirect: this mate does not home the
+	// requested database, and the request was not executed. The response
+	// body carries the current placement generation and home set (same
+	// encoding as OpResolve) so the client can re-route without an extra
+	// round trip.
+	StatusWrongMate
 )
 
 // Server admission states carried in availability and busy responses.
