@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement drift clean
+.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement bench-mesh drift clean
 
 all: verify
 
@@ -31,13 +31,16 @@ stress:
 		-run 'TestConcurrentUpdatesSeqMonotonic|TestRawPutDeleteNoOrphan|TestSaveHistoryConcurrentSeq|TestConcurrentReadersWriters|TestSnapshotScanSeesConsistentPrefix|TestScanDoesNotBlockWriter|TestGroupCommitRacesMaintenance|TestGroupCommitCrashKeepsAckedPuts|TestGroupCommitAmortization|TestCloseRacesInflightAndClusterPush|TestFailoverKillMidNotesSession|TestFailoverKillMidReplicationSession|TestConcurrentMovesExactlyOneWinner|TestUpdatePlacementExactlyOneWinnerPerGeneration|TestLiveMoveZeroLostAckedWrites' \
 		./internal/core ./internal/repl ./internal/store ./internal/server ./internal/place ./internal/dir
 
-# Short native-fuzz smoke over the two decoders that guard trust boundaries:
-# the note codec (every WAL record and wire note passes through it) and the
-# frame reader (the first parse on every connection). Each target also keeps
-# its corpus as seed tests under plain `go test`.
+# Short native-fuzz smoke over the three parsers that guard trust boundaries:
+# the note codec (every WAL record and wire note passes through it), the
+# frame reader (the first parse on every connection), and the formula
+# compiler (mesh link selection formulas arrive over the admin wire ops and
+# from topology files). Each target also keeps its corpus as seed tests
+# under plain `go test`.
 fuzz:
 	$(GO) test ./internal/nsf -run '^$$' -fuzz FuzzDecodeNote -fuzztime 15s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime 15s
+	$(GO) test ./internal/formula -run '^$$' -fuzz FuzzCompile -fuzztime 15s
 
 # verify is the tier-1 gate: build, vet, full tests, the race detector, and
 # the concurrency stress pass.
@@ -81,9 +84,17 @@ bench-writepath:
 bench-placement:
 	$(GO) run ./cmd/experiments -exp W6
 
-# Bench drift guard: re-measure W1/W7 (write path) and the W6 re-home
-# median at quick sizes; fail on regression beyond each probe's tolerance
-# against the committed BENCH_writepath.json / BENCH_placement.json.
+# Regenerate the mesh baseline (BENCH_mesh.json): W8 epidemic-mesh
+# time-to-convergence and per-link traffic for ring and hub-spoke under
+# faultnet churn (drops, severs, a partitioned node, a killed mate), plus
+# the selective-replication selection-stub audit.
+bench-mesh:
+	$(GO) run ./cmd/experiments -exp W8
+
+# Bench drift guard: re-measure W1/W7 (write path), the W6 re-home median,
+# and the W8 mesh ring time-to-convergence at quick sizes; fail on
+# regression beyond each probe's tolerance against the committed
+# BENCH_writepath.json / BENCH_placement.json / BENCH_mesh.json.
 drift:
 	$(GO) run ./cmd/experiments -exp GUARD -quick
 

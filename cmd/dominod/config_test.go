@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/mesh"
 )
 
 func writeConf(t *testing.T, body string) string {
@@ -173,6 +175,48 @@ func TestParseConfigBackupDefaultsAndErrors(t *testing.T) {
 		"name x\ndata /tmp\nbackup /b\n",
 		"name x\ndata /tmp\nbackup /b soon\n",
 		"name x\ndata /tmp\nbackup /b 1h -2\n",
+	} {
+		if _, err := parseConfig(writeConf(t, body)); err == nil {
+			t.Errorf("config accepted: %q", body)
+		}
+	}
+}
+
+func TestParseConfigMeshDirectives(t *testing.T) {
+	path := writeConf(t, `
+name  hub
+data  /tmp/data
+meshlink east spoke *.nsf hot 30s both
+meshlink west rim disc.nsf cold 5m pull Priority >= 3
+topology /var/domino/mesh.topo
+`)
+	cfg, err := parseConfig(path)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if len(cfg.meshLinks) != 2 {
+		t.Fatalf("meshLinks = %+v", cfg.meshLinks)
+	}
+	east := cfg.meshLinks[0]
+	if east.Name != "east" || east.Peer != "spoke" || east.Glob != "*.nsf" ||
+		east.Class != mesh.Hot || east.Interval != 30*time.Second ||
+		east.Direction != mesh.Both || east.Formula != "" {
+		t.Errorf("east = %+v", east)
+	}
+	west := cfg.meshLinks[1]
+	if west.Class != mesh.Cold || west.Direction != mesh.Pull ||
+		west.Formula != "Priority >= 3" || west.Interval != 5*time.Minute {
+		t.Errorf("west = %+v", west)
+	}
+	if cfg.topoPath != "/var/domino/mesh.topo" {
+		t.Errorf("topoPath = %q", cfg.topoPath)
+	}
+	for _, body := range []string{
+		"name x\ndata /tmp\nmeshlink short spoke\n",
+		"name x\ndata /tmp\nmeshlink l spoke * warm 30s both\n",
+		"name x\ndata /tmp\nmeshlink l spoke * hot soon both\n",
+		"name x\ndata /tmp\nmeshlink l spoke * hot 30s sideways\n",
+		"name x\ndata /tmp\ntopology\n",
 	} {
 		if _, err := parseConfig(writeConf(t, body)); err == nil {
 			t.Errorf("config accepted: %q", body)

@@ -39,6 +39,18 @@
 //	                                        # [replica factor]
 //	placement auto 2                        # rendezvous-assign every unpinned
 //	                                        # pre-opened db across the cluster
+//	meshlink east spoke *.nsf hot 30s both  # epidemic mesh link: name, peer,
+//	                                        # glob, hot|cold, interval,
+//	                                        # pull|push|both, then optionally
+//	                                        # a selection formula verbatim
+//	topology /var/domino/mesh.topo          # shared topology file; this server
+//	                                        # takes the links it is the source of
+//
+// Mesh links (meshlink directives plus this server's lines of the topology
+// file) start the mesh scheduler: hot links replicate off the changefeed
+// (debounced), cold links run jittered anti-entropy rounds, and links to
+// unreachable peers back off behind a circuit breaker. Links can also be
+// added and removed at runtime with nsfadmin mesh.
 //
 // The fault directive (or the -fault flag, which overrides it) wraps the
 // listener in a seeded fault injector — connections randomly dropped,
@@ -71,6 +83,7 @@ import (
 
 	domino "repro"
 	"repro/internal/faultnet"
+	"repro/internal/mesh"
 	"repro/internal/repl"
 )
 
@@ -106,6 +119,8 @@ type config struct {
 	advertise   string
 	placements  []placementDecl
 	autoPlace   int // rendezvous-assign unpinned dbs at this replica factor
+	meshLinks   []mesh.Link
+	topoPath    string // shared topology file; resolved against cfg.name
 }
 
 type placementDecl struct {
@@ -322,6 +337,37 @@ func parseConfig(path string) (*config, error) {
 				}
 			}
 			cfg.placements = append(cfg.placements, decl)
+		case "meshlink":
+			// meshlink NAME PEER GLOB hot|cold INTERVAL pull|push|both [FORMULA...]
+			if len(fields) < 7 {
+				return nil, bad("meshlink wants name, peer, glob, class, interval, direction, and optionally a formula")
+			}
+			class, err := mesh.ParseClass(fields[4])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			d, err := time.ParseDuration(fields[5])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			dirn, err := mesh.ParseDirection(fields[6])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.meshLinks = append(cfg.meshLinks, mesh.Link{
+				Name:      fields[1],
+				Peer:      fields[2],
+				Glob:      fields[3],
+				Formula:   strings.Join(fields[7:], " "),
+				Direction: dirn,
+				Class:     class,
+				Interval:  d,
+			})
+		case "topology":
+			if len(fields) != 2 {
+				return nil, bad("topology wants 1 argument")
+			}
+			cfg.topoPath = fields[1]
 		case "agent":
 			if len(fields) != 4 {
 				return nil, bad("agent wants 3 arguments")
@@ -439,6 +485,36 @@ func main() {
 	if cfg.monitorN > 0 {
 		srv.EnableMonitor(cfg.monitorN)
 		log.Printf("event monitor enabled (threshold %d changes)", cfg.monitorN)
+	}
+	// Replication mesh: links from meshlink directives plus this server's
+	// lines of the shared topology file. A bad link (unknown peer is fine —
+	// the breaker handles that — but a bad formula or glob is not) is a
+	// startup error.
+	meshLinks := append([]mesh.Link(nil), cfg.meshLinks...)
+	if cfg.topoPath != "" {
+		tf, err := os.Open(cfg.topoPath)
+		if err != nil {
+			log.Fatalf("dominod: topology: %v", err)
+		}
+		topo, err := mesh.ParseTopology(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatalf("dominod: topology: %v", err)
+		}
+		meshLinks = append(meshLinks, mesh.LinksFor(topo, cfg.name)...)
+	}
+	if len(meshLinks) > 0 {
+		m, err := srv.EnableMesh(domino.MeshOptions{})
+		if err != nil {
+			log.Fatalf("dominod: mesh: %v", err)
+		}
+		for _, l := range meshLinks {
+			if err := m.Add(l); err != nil {
+				log.Fatalf("dominod: mesh: %v", err)
+			}
+			log.Printf("mesh link %s -> %s (glob %q %s %s every %s)",
+				l.Name, l.Peer, l.Glob, l.Class, l.Direction, l.Interval)
+		}
 	}
 	// Placement records: pins first (a pin wins over auto-assignment), then
 	// rendezvous-assign the remaining pre-opened databases across this mate

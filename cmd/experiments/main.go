@@ -38,7 +38,8 @@ var experiments = []experiment{
 	{"W5", "Availability: failover window / zero lost acked writes, admission control under overload", runW5},
 	{"W6", "Partitioned namespace: live moves and dead-mate re-homing, zero lost acked writes", runW6},
 	{"W7", "Group-commit write scaling: writers x SyncWAL x group commit", runW7},
-	{"GUARD", "Bench drift guard (W1/W7 write path + W6 re-home vs committed baselines)", runGuard},
+	{"W8", "Epidemic mesh convergence under churn: ring + hub-spoke, partition, killed mate", runW8},
+	{"GUARD", "Bench drift guard (W1/W7 write path + W6 re-home + W8 mesh convergence vs committed baselines)", runGuard},
 	{"F1", "Incremental replication vs full copy across deltas", runF1},
 	{"F2", "Conflict outcomes vs concurrent-edit overlap", runF2},
 	{"F3", "Full-text query latency: index vs scan", runF3},

@@ -408,6 +408,12 @@ func runGuard(quick bool) {
 		failures = append(failures, msg)
 	}
 
+	// W8 probe: mesh ring convergence under churn (also re-checks the
+	// converged-fingerprints and zero-spurious-conflicts invariants).
+	if msg := guardW8(t); msg != "" {
+		failures = append(failures, msg)
+	}
+
 	t.print()
 	if len(failures) > 0 {
 		log.Fatalf("GUARD: bench drift:\n  %s", strings.Join(failures, "\n  "))

@@ -18,6 +18,10 @@
 //	nsfadmin placement list HOST:PORT
 //	nsfadmin placement resolve HOST:PORT DB.nsf
 //	nsfadmin placement move SRC.nsf TARGET.nsf [-root DIR]
+//	nsfadmin mesh list   HOST:PORT [-user U -secret S]
+//	nsfadmin mesh status HOST:PORT [-user U -secret S]
+//	nsfadmin mesh add    HOST:PORT [-user U -secret S] NAME PEER GLOB hot|cold INTERVAL pull|push|both [FORMULA...]
+//	nsfadmin mesh rm     HOST:PORT [-user U -secret S] NAME
 package main
 
 import (
@@ -29,11 +33,12 @@ import (
 	"time"
 
 	domino "repro"
+	"repro/internal/mesh"
 )
 
 func main() {
 	if len(os.Args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify|archive|backup|restore|verifybackup|placement> DB.nsf [flags]")
+		fmt.Fprintln(os.Stderr, "usage: nsfadmin <stats|compact|purge|views|dump|acl|verify|archive|backup|restore|verifybackup|placement|mesh> DB.nsf [flags]")
 		os.Exit(2)
 	}
 	cmd, path, rest := os.Args[1], os.Args[2], os.Args[3:]
@@ -52,6 +57,11 @@ func main() {
 		return
 	case "placement":
 		if err := cmdPlacement(path, rest); err != nil {
+			log.Fatalf("nsfadmin: %v", err)
+		}
+		return
+	case "mesh":
+		if err := cmdMesh(path, rest); err != nil {
 			log.Fatalf("nsfadmin: %v", err)
 		}
 		return
@@ -183,7 +193,9 @@ func cmdDump(db *domino.Database, args []string) error {
 		}
 		count++
 		marker := ""
-		if n.IsStub() {
+		if n.IsSelStub() {
+			marker = " [SELSTUB]"
+		} else if n.IsStub() {
 			marker = " [STUB]"
 		}
 		if n.IsConflict() {
@@ -379,6 +391,107 @@ func cmdPlacement(sub string, args []string) error {
 	default:
 		return fmt.Errorf("unknown placement subcommand %q (want list, resolve, or move)", sub)
 	}
+}
+
+// cmdMesh administers a running server's replication mesh over the wire:
+// list/status read the link table with live counters, add validates and
+// starts a new link (the server compiles its selection formula before
+// accepting it), rm stops one. Mesh changes need an authenticated session,
+// so these take -user/-secret (before the positional link arguments).
+func cmdMesh(sub string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("mesh %s: server address required", sub)
+	}
+	addr, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("mesh "+sub, flag.ExitOnError)
+	user := fs.String("user", "admin", "user to authenticate as")
+	secret := fs.String("secret", "", "the user's secret")
+	fs.Parse(rest)
+	c, err := domino.Dial(addr, *user, *secret)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	switch sub {
+	case "list", "status":
+		sts, err := c.MeshStatus()
+		if err != nil {
+			return err
+		}
+		if len(sts) == 0 {
+			fmt.Println("no mesh links configured")
+			return nil
+		}
+		for _, st := range sts {
+			if sub == "list" {
+				fmt.Println(formatMeshLink(st.Link))
+				continue
+			}
+			line := fmt.Sprintf("%s rounds=%d fail=%d skipped=%d in=%d out=%d lag=%s",
+				formatMeshLink(st.Link), st.Rounds, st.Failures, st.SkippedDBs,
+				st.NotesIn, st.NotesOut, st.Lag.Round(time.Millisecond))
+			if st.BreakerOpen {
+				line += " BREAKER-OPEN"
+			}
+			if st.Note != "" {
+				line += " (" + st.Note + ")"
+			}
+			fmt.Println(line)
+		}
+		return nil
+	case "add":
+		pos := fs.Args()
+		if len(pos) < 6 {
+			return fmt.Errorf("mesh add: want NAME PEER GLOB hot|cold INTERVAL pull|push|both [FORMULA...]")
+		}
+		class, err := mesh.ParseClass(pos[3])
+		if err != nil {
+			return err
+		}
+		interval, err := time.ParseDuration(pos[4])
+		if err != nil {
+			return err
+		}
+		dir, err := mesh.ParseDirection(pos[5])
+		if err != nil {
+			return err
+		}
+		l := domino.MeshLink{
+			Name:      pos[0],
+			Peer:      pos[1],
+			Glob:      pos[2],
+			Formula:   strings.Join(pos[6:], " "),
+			Direction: dir,
+			Class:     class,
+			Interval:  interval,
+		}
+		if err := c.MeshAdd(l); err != nil {
+			return err
+		}
+		fmt.Printf("added %s\n", formatMeshLink(l))
+		return nil
+	case "rm":
+		pos := fs.Args()
+		if len(pos) != 1 {
+			return fmt.Errorf("mesh rm: want exactly one link name")
+		}
+		if err := c.MeshRemove(pos[0]); err != nil {
+			return err
+		}
+		fmt.Printf("removed %s\n", pos[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown mesh subcommand %q (want list, status, add, or rm)", sub)
+	}
+}
+
+func formatMeshLink(l domino.MeshLink) string {
+	s := fmt.Sprintf("%-12s -> %-10s %s %s glob=%q every %s",
+		l.Name, l.Peer, l.Class, l.Direction, l.Glob, l.Interval)
+	if l.Formula != "" {
+		s += fmt.Sprintf(" select %q", l.Formula)
+	}
+	return s
 }
 
 func formatPlacement(rec domino.ResolveInfo) string {

@@ -19,6 +19,7 @@
 package domino
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/acl"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/dir"
 	"repro/internal/formula"
 	"repro/internal/ft"
+	"repro/internal/mesh"
 	"repro/internal/nsf"
 	"repro/internal/place"
 	"repro/internal/repl"
@@ -108,6 +110,9 @@ func NewDocument() *Note { return nsf.NewNote(nsf.ClassDocument) }
 // NewReplicaID returns a fresh replica identity; pass the same value to two
 // Opens to create a replica pair.
 func NewReplicaID() ReplicaID { return nsf.NewReplicaID() }
+
+// ParseUNID parses the 32-hex-digit form printed by UNID.String.
+func ParseUNID(s string) (UNID, error) { return nsf.ParseUNID(s) }
 
 // Value constructors.
 var (
@@ -280,6 +285,36 @@ func ProbeAvailability(addr string, timeout time.Duration) (AvailabilityInfo, er
 // RetryableError reports whether err is a transient transport failure that
 // a retry on a fresh connection may cure (server-reported errors are not).
 func RetryableError(err error) bool { return wire.Retryable(err) }
+
+// Replication mesh.
+type (
+	// Mesh schedules a server's replication links (see Server.EnableMesh).
+	Mesh = mesh.Mesh
+	// MeshOptions tune the mesh scheduler's defaults and breaker.
+	MeshOptions = mesh.Options
+	// MeshLink is one replication edge: peer, database glob, selection
+	// formula, direction, and schedule class.
+	MeshLink = mesh.Link
+	// MeshLinkStatus is a link's live scheduling and transfer state.
+	MeshLinkStatus = mesh.LinkStatus
+	// TopoLink is one line of a mesh topology file: a link plus the server
+	// that runs it.
+	TopoLink = mesh.TopoLink
+	// Fingerprint digests a replica's (UNID, Seq, SeqTime) set for the
+	// convergence audit.
+	Fingerprint = mesh.Fingerprint
+)
+
+// ParseTopology reads a shared mesh topology description (one link per
+// line); each server takes its own links with MeshLinksFor.
+func ParseTopology(r io.Reader) ([]TopoLink, error) { return mesh.ParseTopology(r) }
+
+// MeshLinksFor filters a topology down to the links one server runs.
+func MeshLinksFor(topo []TopoLink, server string) []MeshLink { return mesh.LinksFor(topo, server) }
+
+// FingerprintDB digests a database's document (UNID, Seq, SeqTime) set;
+// converged replicas — full or selective — have equal fingerprints.
+func FingerprintDB(db *Database) (Fingerprint, error) { return mesh.FingerprintDB(db) }
 
 // Placement and rebalancing.
 type (

@@ -192,7 +192,7 @@ func (f *Feed) WaitForUSN(usn uint64) {
 	for {
 		pending := false
 		for _, s := range f.subs {
-			if s.dropped || s.exited {
+			if s.dropped || s.exited || s.unsubscribed {
 				continue
 			}
 			if s.applied < usn {
@@ -283,11 +283,41 @@ type Subscriber struct {
 	h    Handler
 
 	// The fields below are guarded by feed.mu.
-	applied uint64 // USN applied through
-	applies uint64
-	resyncs uint64
-	dropped bool
-	exited  bool
+	applied      uint64 // USN applied through
+	applies      uint64
+	resyncs      uint64
+	dropped      bool
+	exited       bool
+	unsubscribed bool
+}
+
+// Unsubscribe detaches the subscriber: its consumer goroutine exits without
+// draining further entries and the subscriber is removed from the feed's
+// roster, so a transient consumer (a stopped replication trigger, a closed
+// session watcher) does not accumulate as a dead cursor for the feed's
+// lifetime. Idempotent and safe to call concurrently with Close; entries
+// already handed to the handler are unaffected.
+func (s *Subscriber) Unsubscribe() {
+	f := s.feed
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s.unsubscribed || s.exited {
+		s.unsubscribed = true
+		f.removeLocked(s)
+		return
+	}
+	s.unsubscribed = true
+	f.cond.Broadcast()
+}
+
+// removeLocked drops s from the subscriber roster. Call with f.mu held.
+func (f *Feed) removeLocked(s *Subscriber) {
+	for i, cur := range f.subs {
+		if cur == s {
+			f.subs = append(f.subs[:i], f.subs[i+1:]...)
+			return
+		}
+	}
 }
 
 // Name returns the subscriber's label.
@@ -312,8 +342,12 @@ func (s *Subscriber) run() {
 		f.mu.Unlock()
 	}()
 	for {
-		for !f.closed && !s.dropped && s.applied >= f.last {
+		for !f.closed && !s.dropped && !s.unsubscribed && s.applied >= f.last {
 			f.cond.Wait()
+		}
+		if s.unsubscribed {
+			f.removeLocked(s)
+			return
 		}
 		if s.dropped || s.applied >= f.last {
 			return // closed and drained, or dropped

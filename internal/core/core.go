@@ -257,12 +257,15 @@ func (db *Database) ACL() *acl.ACL {
 // else. Callbacks must not invoke the read barrier (Rows, Search, View,
 // Refresh) on the same database — the barrier would wait on the callback's
 // own cursor. Use Refresh from the outside to observe callback effects.
-func (db *Database) OnChange(fn func(*nsf.Note)) {
+// The returned subscriber's Unsubscribe detaches the callback; callers that
+// outlive their interest in changes (replication triggers, mesh links)
+// should call it rather than leave a dead cursor on the feed.
+func (db *Database) OnChange(fn func(*nsf.Note)) *changefeed.Subscriber {
 	db.mu.Lock()
 	db.onChanges++
 	name := fmt.Sprintf("onchange-%d", db.onChanges)
 	db.mu.Unlock()
-	db.feed.Subscribe(name, changefeed.Funcs{
+	return db.feed.Subscribe(name, changefeed.Funcs{
 		ApplyFunc: func(e changefeed.Entry) {
 			// Physical deletes (stub purges) stay local, as before the feed.
 			if e.Kind == changefeed.Put && e.Note != nil {

@@ -82,3 +82,38 @@ func TestEvalNeverPanicsOnHostileNotes(t *testing.T) {
 		}
 	}
 }
+
+// FuzzCompile is the native fuzz target behind `make fuzz`: anything the
+// compiler accepts must also evaluate and select without panicking. The
+// selection formulas on replication-mesh links arrive over the admin wire
+// ops and from topology files, so Compile is an input surface twice over.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"SELECT @All",
+		`SELECT Subject = "x" & Priority > 3`,
+		`@If(@IsAvailable(Missing); Missing; "default")`,
+		`@Implode(@Explode(Subject); "-") : @Unique(Tags)`,
+		"FIELD Total := @Sum(Amounts); SELECT Total > 100",
+		"((((",
+		"@If(",
+		"SELECT [CN] {brace} :=",
+		"\"unterminated",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fl, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if fl == nil {
+			t.Fatalf("Compile(%q) returned nil formula with nil error", src)
+		}
+		note := nsf.NewNote(nsf.ClassDocument)
+		note.SetText("Subject", "fuzz")
+		note.SetNumber("Priority", 4)
+		_, _ = fl.Eval(&Context{Note: note})
+		_, _ = fl.Selects(note, nil)
+	})
+}

@@ -1,0 +1,108 @@
+package mesh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/nsf"
+)
+
+// Convergence audit: two replicas have converged exactly when their
+// document-class note sets carry identical (UNID, Seq, SeqTime) triples.
+// Deletion stubs and selection stubs are part of the set — a selection
+// stub shares the OID of the version it withholds, which is what makes
+// selective and full replicas fingerprint identically (see package repl).
+// Flags are deliberately excluded: a replica holding the live content and
+// one holding its selection stub agree. Bookkeeping notes (class
+// ClassReplFormula: replication cursors, unread tables) never replicate
+// and are excluded.
+
+// Fingerprint summarizes one replica's convergence-relevant state.
+type Fingerprint struct {
+	// Digest is the hex SHA-256 over the sorted (UNID, Seq, SeqTime)
+	// triples of all document-class notes, stubs included.
+	Digest string
+	// Notes is the number of triples digested.
+	Notes int
+	// Live counts non-stub documents.
+	Live int
+	// Conflicts counts conflict documents (a converged mesh that never
+	// raced has zero).
+	Conflicts int
+}
+
+// FingerprintDB computes a database's convergence fingerprint.
+func FingerprintDB(db *core.Database) (Fingerprint, error) {
+	var fp Fingerprint
+	var triples [][28]byte
+	err := db.ScanAll(func(n *nsf.Note) bool {
+		if n.Class != nsf.ClassDocument {
+			return true
+		}
+		var t [28]byte
+		copy(t[:16], n.OID.UNID[:])
+		binary.LittleEndian.PutUint32(t[16:], n.OID.Seq)
+		binary.LittleEndian.PutUint64(t[20:], uint64(n.OID.SeqTime))
+		triples = append(triples, t)
+		if !n.IsStub() {
+			fp.Live++
+		}
+		if n.IsConflict() {
+			fp.Conflicts++
+		}
+		return true
+	})
+	if err != nil {
+		return fp, err
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	h := sha256.New()
+	for _, t := range triples {
+		h.Write(t[:])
+	}
+	fp.Notes = len(triples)
+	fp.Digest = hex.EncodeToString(h.Sum(nil))
+	return fp, nil
+}
+
+// Audit is the result of fingerprinting a set of replicas.
+type Audit struct {
+	// Fingerprints maps replica label -> fingerprint.
+	Fingerprints map[string]Fingerprint
+	// Converged reports whether every fingerprint digest is identical.
+	Converged bool
+	// Conflicts is the total conflict-document count across replicas.
+	Conflicts int
+}
+
+// AuditConvergence fingerprints each replica and reports whether they have
+// all converged to the same (UNID, Seq, SeqTime) set.
+func AuditConvergence(replicas map[string]*core.Database) (Audit, error) {
+	a := Audit{Fingerprints: make(map[string]Fingerprint, len(replicas)), Converged: true}
+	first := ""
+	for label, db := range replicas {
+		fp, err := FingerprintDB(db)
+		if err != nil {
+			return a, err
+		}
+		a.Fingerprints[label] = fp
+		a.Conflicts += fp.Conflicts
+		if first == "" {
+			first = fp.Digest
+		} else if fp.Digest != first {
+			a.Converged = false
+		}
+	}
+	return a, nil
+}

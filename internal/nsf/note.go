@@ -52,6 +52,13 @@ const (
 	FlagDeleted NoteFlags = 1 << iota
 	// FlagConflict marks a replication/save conflict document.
 	FlagConflict
+	// FlagSelStub marks a selection stub: a deletion stub materialized on a
+	// replica because the document fell outside (or never entered) a
+	// selective-replication formula, not because anyone deleted it. It
+	// carries the OID of the version it withholds. Unlike a true deletion
+	// stub it has no deletion authority: a strictly newer live version —
+	// the document re-entering the selection — resurrects the document.
+	FlagSelStub
 )
 
 // OID is the originator ID: the note's universal identity plus its version.
@@ -93,6 +100,10 @@ func NewNote(class NoteClass) *Note {
 
 // IsStub reports whether n is a deletion stub.
 func (n *Note) IsStub() bool { return n.Flags&FlagDeleted != 0 }
+
+// IsSelStub reports whether n is a selection stub: a stub standing in for
+// a version withheld by selective replication rather than a deletion.
+func (n *Note) IsSelStub() bool { return n.Flags&FlagSelStub != 0 }
 
 // IsConflict reports whether n is a conflict document.
 func (n *Note) IsConflict() bool { return n.Flags&FlagConflict != 0 }

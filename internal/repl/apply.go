@@ -39,6 +39,16 @@ func ApplyNote(db *core.Database, incoming *nsf.Note, opts ApplyOptions) (ApplyS
 		return st, err
 	}
 	if local.OID == incoming.OID {
+		// A selection stub meeting the live version it shadows: the stub was
+		// materialized because a link's formula withheld this exact version,
+		// so the live copy resurrects the content without a version bump.
+		if local.IsSelStub() && !incoming.IsStub() {
+			if err := db.RawPut(incoming.Clone()); err != nil {
+				return st, err
+			}
+			st.Added++
+			return st, nil
+		}
 		st.Skipped++
 		return st, nil
 	}
@@ -46,14 +56,39 @@ func ApplyNote(db *core.Database, incoming *nsf.Note, opts ApplyOptions) (ApplyS
 	// same UNID racing a stub is by definition a concurrent edit of a
 	// deleted document, and Notes' "deletions win" rule discards it. (A
 	// legitimately recreated document would carry a fresh UNID.)
+	//
+	// Selection stubs are the exception: they stand in for a version a
+	// formula withheld, not a deletion, so they carry no deletion authority
+	// and the plain OID comparison decides — a strictly newer live version
+	// (the document re-entering the selection) resurrects the document, and
+	// a stale selection stub never kills a newer live copy.
 	if incoming.IsStub() != local.IsStub() {
-		if incoming.IsStub() {
+		stub := incoming
+		if local.IsStub() {
+			stub = local
+		}
+		if !stub.IsSelStub() {
+			if incoming.IsStub() {
+				if err := db.RawPut(incoming.Clone()); err != nil {
+					return st, err
+				}
+				st.Deleted++
+			} else {
+				st.Skipped++ // the local stub stands
+			}
+			return st, nil
+		}
+		if incoming.OID.Newer(local.OID) {
 			if err := db.RawPut(incoming.Clone()); err != nil {
 				return st, err
 			}
-			st.Deleted++
+			if incoming.IsStub() {
+				st.Deleted++
+			} else {
+				st.Added++ // resurrection: the document re-entered the selection
+			}
 		} else {
-			st.Skipped++ // the local stub stands
+			st.Skipped++
 		}
 		return st, nil
 	}

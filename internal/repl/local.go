@@ -1,10 +1,7 @@
 package repl
 
 import (
-	"fmt"
-
 	"repro/internal/core"
-	"repro/internal/formula"
 	"repro/internal/nsf"
 )
 
@@ -25,22 +22,21 @@ func (p *LocalPeer) ReplicaID() (nsf.ReplicaID, error) {
 
 // Summaries implements Peer: version summaries of notes modified after
 // since. Replication-bookkeeping notes never replicate; deletion stubs
-// bypass the selective formula (deletes always propagate).
+// bypass the selective formula (deletes always propagate); documents
+// outside the selection are advertised as selection stubs rather than
+// silently withheld. The formula compile is memoized across sessions
+// (CompileSelection), and a bad source returns a typed *FormulaError.
 func (p *LocalPeer) Summaries(since nsf.Timestamp, formulaSrc string) ([]Summary, nsf.Timestamp, error) {
-	var sel *formula.Formula
-	if formulaSrc != "" {
-		f, err := formula.Compile(formulaSrc)
-		if err != nil {
-			return nil, 0, fmt.Errorf("repl: selective formula: %w", err)
-		}
-		sel = f
+	sel, err := CompileSelection(formulaSrc)
+	if err != nil {
+		return nil, 0, err
 	}
 	// Take the cursor before scanning: a write that lands mid-scan may be
 	// transferred twice, but never missed.
 	now := p.DB.Clock().Now()
 	var out []Summary
 	var evalErr error
-	err := p.DB.ScanModifiedSince(since, func(n *nsf.Note) bool {
+	err = p.DB.ScanModifiedSince(since, func(n *nsf.Note) bool {
 		if n.Class == nsf.ClassReplFormula {
 			return true
 		}
@@ -51,6 +47,7 @@ func (p *LocalPeer) Summaries(since nsf.Timestamp, formulaSrc string) ([]Summary
 				return false
 			}
 			if !ok {
+				out = append(out, selStubSummary(n))
 				return true
 			}
 		}

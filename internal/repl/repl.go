@@ -8,7 +8,20 @@
 // edits with equal sequence numbers are conflicts: the loser is preserved
 // as a "$Conflict" response document — or, when field-level merging is
 // enabled and the two edits touched disjoint item sets, merged into the
-// winner. Selective replication evaluates a formula on the source side.
+// winner.
+//
+// Selective replication evaluates a formula on the source side. Its
+// semantics are stub-correct: a document outside the selection is not
+// silently withheld — the source advertises a *selection stub* (same OID,
+// FlagSelStub, no content), so a document that falls out of a link's
+// selection mid-life is deleted on the destination rather than left
+// frozen at its last matching version. Selection stubs carry no deletion
+// authority: a strictly newer live version (the document re-entering the
+// selection) resurrects the document, and a selection stub meeting the
+// live version it shadows (same OID) is a no-op on both sides. Because a
+// selection stub shares the OID of the version it withholds, replicas
+// converge to identical (UNID, Seq, SeqTime) sets whether or not their
+// links filter — the property the mesh convergence audit fingerprints.
 package repl
 
 import (
@@ -26,6 +39,11 @@ type Summary struct {
 	Seq     uint32
 	SeqTime nsf.Timestamp
 	Deleted bool
+	// SelStub marks a selection stub: the source holds this version live
+	// but it is outside the link's selection formula, so only its identity
+	// travels. The receiver materializes a FlagSelStub stub from the
+	// summary alone — there is no stored stub to fetch on the source.
+	SelStub bool
 	Class   nsf.NoteClass
 }
 
@@ -45,7 +63,46 @@ func SummaryOf(n *nsf.Note) Summary {
 		Seq:     n.OID.Seq,
 		SeqTime: n.OID.SeqTime,
 		Deleted: n.IsStub(),
+		SelStub: n.IsSelStub(),
 		Class:   n.Class,
+	}
+}
+
+// selStubSummary advertises a live note that falls outside the selection
+// formula as a selection stub.
+func selStubSummary(n *nsf.Note) Summary {
+	s := SummaryOf(n)
+	s.Deleted = true
+	s.SelStub = true
+	return s
+}
+
+// StubFromSummary materializes the deletion (or selection) stub a summary
+// describes. Stubs carry no content beyond identity, version, and class,
+// so the receiver can apply them from the summary alone — no fetch round
+// trip, and no risk of a selection stub leaking the live content the
+// source actually holds.
+func StubFromSummary(s Summary) *nsf.Note {
+	flags := nsf.FlagDeleted
+	if s.SelStub {
+		flags |= nsf.FlagSelStub
+	}
+	return &nsf.Note{
+		OID:     s.OID(),
+		Class:   s.Class,
+		Flags:   flags,
+		Created: s.SeqTime,
+	}
+}
+
+// SelectionStub clones a live note into the selection stub that stands in
+// for it on replicas whose link formula excludes it.
+func SelectionStub(n *nsf.Note) *nsf.Note {
+	return &nsf.Note{
+		OID:     n.OID,
+		Class:   n.Class,
+		Flags:   n.Flags | nsf.FlagDeleted | nsf.FlagSelStub,
+		Created: n.Created,
 	}
 }
 

@@ -22,8 +22,14 @@ type Options struct {
 	Apply ApplyOptions
 	// Formula is a selective-replication formula source applied in both
 	// directions (evaluated on whichever side holds the notes). Empty
-	// replicates everything.
+	// replicates everything. Documents outside the selection travel as
+	// selection stubs (identity only), never silently — see the package
+	// comment. Call Prepare to compile and validate it once up front;
+	// otherwise Replicate compiles it (cached) at session start and
+	// returns a typed *FormulaError on a bad source.
 	Formula string
+	// compiled is the Prepare-validated form of Formula.
+	compiled *formula.Formula
 	// PullOnly disables the push phase.
 	PullOnly bool
 	// PushOnly disables the pull phase.
@@ -137,6 +143,13 @@ func saveHistory(db *core.Database, peerName string, h history) error {
 // therefore converges to exactly the state an unfailed session reaches.
 func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
 	var stats Stats
+	// Validate the selection formula before any wire work: a bad formula is
+	// a configuration error and surfaces as a typed *FormulaError here, at
+	// session start, not mid-round. The compiled form is cached (or already
+	// pinned by Prepare), so sessions never recompile it.
+	if _, err := opts.selection(); err != nil {
+		return stats, err
+	}
 	remoteReplica, err := peer.ReplicaID()
 	if err != nil {
 		return stats, err
@@ -183,7 +196,11 @@ func Replicate(local *core.Database, peer Peer, opts Options) (Stats, error) {
 
 // pull fetches remote changes since the cursor and applies them locally,
 // in batches so a severed link loses at most one unapplied batch of
-// transfer work.
+// transfer work. Stubs — real deletion stubs and selection stubs alike —
+// are materialized from their summaries without a fetch round trip: a
+// stub has no content beyond its identity, and a selection stub has no
+// stored note on the source at all (the source holds the live version the
+// link withholds).
 func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, opts Options) (nsf.Timestamp, error) {
 	sums, peerNow, err := peer.Summaries(since, opts.Formula)
 	if err != nil {
@@ -191,20 +208,47 @@ func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, op
 	}
 	stats.SummariesIn += len(sums)
 	stats.BytesIn += int64(len(sums)) * summaryWireBytes
+	applyStub := func(s Summary) error {
+		st, err := ApplyNote(local, StubFromSummary(s), opts.Apply)
+		if err != nil {
+			return err
+		}
+		stats.Pull.Add(st)
+		return nil
+	}
 	var need []nsf.UNID
 	for _, s := range sums {
 		cur, err := local.RawGet(s.UNID)
 		switch {
 		case errors.Is(err, core.ErrNotFound):
-			need = append(need, s.UNID)
+			if s.Deleted {
+				if err := applyStub(s); err != nil {
+					return 0, err
+				}
+			} else {
+				need = append(need, s.UNID)
+			}
 		case err != nil:
 			return 0, err
 		case cur.OID == s.OID():
-			stats.Pull.Skipped++
+			if cur.IsSelStub() && !s.Deleted {
+				// Same version, but the local copy is a selection stub and
+				// the peer now advertises it live (the link's formula was
+				// widened): fetch the content back.
+				need = append(need, s.UNID)
+			} else {
+				stats.Pull.Skipped++
+			}
 		case s.OID().Newer(cur.OID) || s.Seq == cur.OID.Seq:
 			// Either the remote wins, or it is a potential conflict that
 			// needs the full note to resolve.
-			need = append(need, s.UNID)
+			if s.Deleted {
+				if err := applyStub(s); err != nil {
+					return 0, err
+				}
+			} else {
+				need = append(need, s.UNID)
+			}
 		default:
 			stats.Pull.Skipped++
 		}
@@ -234,19 +278,18 @@ func pull(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, op
 }
 
 // push sends local changes since the cursor for the peer to apply.
+// Documents outside the selection formula travel as selection stubs
+// (identity only), so an edit that moves a document out of the selection
+// deletes it at the peer instead of leaving it frozen.
 func push(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, opts Options) (nsf.Timestamp, error) {
-	var sel *formula.Formula
-	if opts.Formula != "" {
-		f, err := formula.Compile(opts.Formula)
-		if err != nil {
-			return 0, err
-		}
-		sel = f
+	sel, err := opts.selection()
+	if err != nil {
+		return 0, err
 	}
 	localNow := local.Clock().Now()
 	var batch []*nsf.Note
 	var evalErr error
-	err := local.ScanModifiedSince(since, func(n *nsf.Note) bool {
+	err = local.ScanModifiedSince(since, func(n *nsf.Note) bool {
 		if n.Class == nsf.ClassReplFormula {
 			return true
 		}
@@ -257,6 +300,7 @@ func push(local *core.Database, peer Peer, stats *Stats, since nsf.Timestamp, op
 				return false
 			}
 			if !ok {
+				batch = append(batch, SelectionStub(n))
 				return true
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	gosync "sync" // the test package declares a helper named sync
 	"time"
 
+	"repro/internal/changefeed"
 	"repro/internal/core"
 	"repro/internal/nsf"
 )
@@ -20,7 +21,8 @@ import (
 // tables) never fire the trigger; the history save at the end of a
 // replication run would otherwise retrigger it forever.
 type ChangeTrigger struct {
-	c chan struct{}
+	c   chan struct{}
+	sub *changefeed.Subscriber
 
 	mu      gosync.Mutex
 	stopped bool
@@ -32,7 +34,7 @@ type ChangeTrigger struct {
 // bursts into one replication run; <= 0 fires immediately.
 func NewChangeTrigger(db *core.Database, debounce time.Duration) *ChangeTrigger {
 	t := &ChangeTrigger{c: make(chan struct{}, 1)}
-	db.OnChange(func(n *nsf.Note) {
+	t.sub = db.OnChange(func(n *nsf.Note) {
 		if n.Class == nsf.ClassReplFormula {
 			return
 		}
@@ -94,15 +96,17 @@ func (t *ChangeTrigger) Kick() {
 	}
 }
 
-// Stop cancels any pending debounce timer and silences future firings. The
-// underlying feed subscription stays registered (subscriptions live as long
-// as the database) but becomes a no-op.
+// Stop cancels any pending debounce timer, silences future firings, and
+// unsubscribes from the database's changefeed, so a stopped trigger (a
+// removed mesh link, a finished replication job) leaves no dead cursor
+// behind. Idempotent.
 func (t *ChangeTrigger) Stop() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.stopped = true
 	if t.timer != nil {
 		t.timer.Stop()
 		t.timer = nil
 	}
+	t.mu.Unlock()
+	t.sub.Unsubscribe()
 }

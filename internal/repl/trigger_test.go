@@ -119,3 +119,22 @@ func TestChangeTriggerStop(t *testing.T) {
 	}
 	expectQuiet(t, db, tr, "stopped trigger fired")
 }
+
+func TestChangeTriggerStopUnsubscribes(t *testing.T) {
+	db := openTriggerDB(t)
+	before := len(db.Stats().Feed.Subscribers)
+	tr := NewChangeTrigger(db, 0)
+	if got := len(db.Stats().Feed.Subscribers); got != before+1 {
+		t.Fatalf("subscribers after NewChangeTrigger = %d, want %d", got, before+1)
+	}
+	tr.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(db.Stats().Feed.Subscribers) != before {
+		if time.Now().After(deadline) {
+			t.Fatalf("trigger subscription still registered after Stop: %+v",
+				db.Stats().Feed.Subscribers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.Stop() // idempotent
+}

@@ -146,6 +146,37 @@ func (s *Server) RefreshCatalog() (int, error) {
 		}
 		written++
 	}
+	// Mesh link docs: one per configured replication link, carrying the
+	// link's definition and live counters (rounds, failures, breaker state,
+	// lag) so an administrator browsing the catalog sees the mesh's health.
+	if m := s.Mesh(); m != nil {
+		for _, st := range m.Status() {
+			err := upsert(catalogDocUNID(s.opts.Name, "meshlink:"+st.Name), "MeshLink", func(n *nsf.Note) {
+				n.SetWithFlags("Link", nsf.TextValue(st.Name), nsf.FlagSummary)
+				n.SetWithFlags("Peer", nsf.TextValue(st.Peer), nsf.FlagSummary)
+				n.SetText("Glob", st.Glob)
+				n.SetText("Formula", st.Formula)
+				n.SetText("Direction", st.Direction.String())
+				n.SetText("Class", st.Class.String())
+				n.SetNumber("Rounds", float64(st.Rounds))
+				n.SetNumber("Failures", float64(st.Failures))
+				breaker := 0.0
+				if st.BreakerOpen {
+					breaker = 1
+				}
+				n.SetNumber("BreakerOpen", breaker)
+				n.SetNumber("SkippedDBs", float64(st.SkippedDBs))
+				n.SetNumber("NotesIn", float64(st.NotesIn))
+				n.SetNumber("NotesOut", float64(st.NotesOut))
+				n.SetNumber("LagSecs", st.Lag.Seconds())
+				n.SetText("Note", st.Note)
+			})
+			if err != nil {
+				return written, err
+			}
+			written++
+		}
+	}
 	// Server health doc: the availability index and admission counters —
 	// the catalog entry a cluster-aware client or admin reads to decide
 	// where work should go.
@@ -169,7 +200,7 @@ func (s *Server) RefreshCatalog() (int, error) {
 	written++
 
 	// Drop catalog docs for databases (and mates) that disappeared.
-	catalogForms := map[string]bool{"Catalog": true, "ClusterMate": true, "ServerHealth": true}
+	catalogForms := map[string]bool{"Catalog": true, "ClusterMate": true, "ServerHealth": true, "MeshLink": true}
 	var stale []nsf.UNID
 	err = cat.ScanAll(func(n *nsf.Note) bool {
 		if n.Class == nsf.ClassDocument && !n.IsStub() &&

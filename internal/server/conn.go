@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/core"
+	"repro/internal/mesh"
 	"repro/internal/nsf"
 	"repro/internal/repl"
 	"repro/internal/wire"
@@ -157,6 +158,12 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		resp, err = c.dbInfo(d)
 	case wire.OpPutBatch:
 		resp, err = c.putBatch(d)
+	case wire.OpMeshStatus:
+		resp, err = c.meshStatus(d)
+	case wire.OpMeshAdd:
+		resp, err = c.meshAdd(d)
+	case wire.OpMeshRemove:
+		resp, err = c.meshRemove(d)
 	default:
 		err = fmt.Errorf("unknown operation %#x", byte(op))
 	}
@@ -549,4 +556,62 @@ func (c *connState) mailDeposit(d *wire.Dec) (*wire.Enc, error) {
 		return nil, err
 	}
 	return wire.NewResp(wire.OpMailDeposit, wire.StatusOK), nil
+}
+
+// meshFor returns the running mesh scheduler or a clean error when the
+// mesh task is not enabled on this server.
+func (c *connState) meshFor() (*mesh.Mesh, error) {
+	m := c.s.Mesh()
+	if m == nil {
+		return nil, errors.New("mesh not enabled on this server")
+	}
+	return m, nil
+}
+
+func (c *connState) meshStatus(d *wire.Dec) (*wire.Enc, error) {
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	m, err := c.meshFor()
+	if err != nil {
+		return nil, err
+	}
+	sts := m.Status()
+	resp := wire.NewResp(wire.OpMeshStatus, wire.StatusOK).U32(uint32(len(sts)))
+	for _, st := range sts {
+		resp.MeshLinkStatus(st)
+	}
+	return resp, nil
+}
+
+func (c *connState) meshAdd(d *wire.Dec) (*wire.Enc, error) {
+	l := d.MeshLink()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	m, err := c.meshFor()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Add(l); err != nil {
+		return nil, err
+	}
+	c.s.logf(LogMesh, "link %s added by %s", l.Name, c.user)
+	return wire.NewResp(wire.OpMeshAdd, wire.StatusOK), nil
+}
+
+func (c *connState) meshRemove(d *wire.Dec) (*wire.Enc, error) {
+	name := d.Str()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	m, err := c.meshFor()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Remove(name); err != nil {
+		return nil, err
+	}
+	c.s.logf(LogMesh, "link %s removed by %s", name, c.user)
+	return wire.NewResp(wire.OpMeshRemove, wire.StatusOK), nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nsf"
@@ -134,6 +135,22 @@ func (s *Server) MonitorReport() []string {
 		health += fmt.Sprintf(" dropped[%s]=%d", mateName, s.DroppedByMate()[mateName])
 	}
 	out = append(out, health)
+	// Mesh links: one line per configured replication link with its live
+	// counters, so the report shows each edge's health at a glance.
+	if m := s.Mesh(); m != nil {
+		for _, st := range m.Status() {
+			line := fmt.Sprintf("mesh %s -> %s: %s %s rounds=%d fail=%d in=%d out=%d lag=%s",
+				st.Name, st.Peer, st.Class, st.Direction,
+				st.Rounds, st.Failures, st.NotesIn, st.NotesOut, st.Lag.Round(time.Millisecond))
+			if st.BreakerOpen {
+				line += " BREAKER-OPEN"
+			}
+			if st.Note != "" {
+				line += " (" + st.Note + ")"
+			}
+			out = append(out, line)
+		}
+	}
 	// Placement records, so the report shows where each database routes.
 	for _, p := range s.opts.Directory.Placements() {
 		homed := ""

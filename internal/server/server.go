@@ -17,6 +17,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dir"
+	"repro/internal/mesh"
 	"repro/internal/nsf"
 	"repro/internal/repl"
 	"repro/internal/router"
@@ -94,6 +95,7 @@ type Server struct {
 	mu      sync.Mutex
 	dbs     map[string]*core.Database
 	cluster []*clusterPusher
+	mesh    *mesh.Mesh
 	conns   map[net.Conn]struct{}
 	backups map[string]BackupStatus
 
@@ -422,6 +424,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.stopCluster()
+	s.stopMesh()
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -102,15 +102,18 @@ func (e *Enc) Note(n *nsf.Note) *Enc {
 	return e
 }
 
-// Summary appends a replication summary.
+// Summary appends a replication summary. Deleted and SelStub travel as a
+// flags byte (bit 0 deleted, bit 1 selection stub).
 func (e *Enc) Summary(s repl.Summary) *Enc {
 	e.UNID(s.UNID).U32(s.Seq).U64(uint64(s.SeqTime)).U32(uint32(s.Class))
+	var flags uint8
 	if s.Deleted {
-		e.U8(1)
-	} else {
-		e.U8(0)
+		flags |= 1
 	}
-	return e
+	if s.SelStub {
+		flags |= 2
+	}
+	return e.U8(flags)
 }
 
 // ApplyStats appends replication apply statistics.
@@ -228,7 +231,9 @@ func (d *Dec) Summary() repl.Summary {
 		SeqTime: nsf.Timestamp(d.U64()),
 		Class:   nsf.NoteClass(d.U32()),
 	}
-	s.Deleted = d.U8() == 1
+	flags := d.U8()
+	s.Deleted = flags&1 != 0
+	s.SelStub = flags&2 != 0
 	return s
 }
 

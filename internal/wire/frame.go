@@ -83,6 +83,15 @@ const (
 	// clients can resolve without a session. An empty path lists every
 	// placement record.
 	OpResolve
+	// OpMeshStatus lists the server's replication-mesh links with their
+	// live scheduling and transfer counters.
+	OpMeshStatus
+	// OpMeshAdd adds a mesh link at runtime. The link's selection formula
+	// is validated server-side before the link starts.
+	OpMeshAdd
+	// OpMeshRemove removes a mesh link by name; its replication cursors
+	// persist, so re-adding the link resumes incrementally.
+	OpMeshRemove
 )
 
 // respBit marks response frames.
