@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement bench-mesh drift clean
+.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement bench-mesh bench-bulkread drift clean
 
 all: verify
 
@@ -84,6 +84,13 @@ bench-writepath:
 bench-placement:
 	$(GO) run ./cmd/experiments -exp W6
 
+# Regenerate the bulk-read section of BENCH_readpath.json: W9 paginated
+# view-open latency over a 5ms-RTT faultnet link vs the per-note baseline,
+# and the frame-bound 200k-row stream with every response frame audited
+# against wire.MaxFrame.
+bench-bulkread:
+	$(GO) run ./cmd/experiments -exp W9
+
 # Regenerate the mesh baseline (BENCH_mesh.json): W8 epidemic-mesh
 # time-to-convergence and per-link traffic for ring and hub-spoke under
 # faultnet churn (drops, severs, a partitioned node, a killed mate), plus
@@ -92,9 +99,10 @@ bench-mesh:
 	$(GO) run ./cmd/experiments -exp W8
 
 # Bench drift guard: re-measure W1/W7 (write path), the W6 re-home median,
-# and the W8 mesh ring time-to-convergence at quick sizes; fail on
-# regression beyond each probe's tolerance against the committed
-# BENCH_writepath.json / BENCH_placement.json / BENCH_mesh.json.
+# the W8 mesh ring time-to-convergence, and the W9 paginated view-open
+# probe at quick sizes; fail on regression beyond each probe's tolerance
+# against the committed BENCH_writepath.json / BENCH_placement.json /
+# BENCH_mesh.json / BENCH_readpath.json.
 drift:
 	$(GO) run ./cmd/experiments -exp GUARD -quick
 

@@ -30,6 +30,7 @@ user   bob pw2 mail/bob.nsf spoke
 user   hub hubsecret
 group  team ada,bob
 db     apps/app.nsf The App Title
+ftindex apps/app.nsf
 peer   spoke 10.0.0.2:1352
 replicate spoke apps/app.nsf 30s
 route  10s
@@ -53,6 +54,9 @@ fault  seed=7,sever=0.01,delay=0.1,maxdelay=5ms
 	}
 	if len(cfg.preopen) != 1 || cfg.preopen[0][0] != "apps/app.nsf" || cfg.preopen[0][1] != "The App Title" {
 		t.Errorf("preopen = %v", cfg.preopen)
+	}
+	if len(cfg.ftindex) != 1 || cfg.ftindex[0] != "apps/app.nsf" {
+		t.Errorf("ftindex = %v", cfg.ftindex)
 	}
 	if cfg.peers["spoke"] != "10.0.0.2:1352" {
 		t.Errorf("peers = %v", cfg.peers)

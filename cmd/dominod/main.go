@@ -16,6 +16,7 @@
 //	user   bob pw-bob mail/bob.nsf spoke
 //	group  supporters ada,bob
 //	db     apps/tickets.nsf Helpdesk        # pre-open path [title]
+//	ftindex apps/tickets.nsf                # full-text index this db at boot
 //	peer   spoke 10.0.0.2:1352              # peer name and address
 //	replicate spoke apps/tickets.nsf 30s    # periodic replication job
 //	route  10s                              # router interval
@@ -101,6 +102,7 @@ type config struct {
 	directory   *domino.Directory
 	peers       map[string]string
 	preopen     [][2]string // path, title
+	ftindex     []string    // databases to full-text index at boot
 	jobs        []replicaJob
 	routeTick   time.Duration
 	clusterWith []string
@@ -210,6 +212,11 @@ func parseConfig(path string) (*config, error) {
 				title = strings.Join(fields[2:], " ")
 			}
 			cfg.preopen = append(cfg.preopen, [2]string{fields[1], title})
+		case "ftindex":
+			if len(fields) != 2 {
+				return nil, bad("ftindex wants 1 argument")
+			}
+			cfg.ftindex = append(cfg.ftindex, fields[1])
 		case "peer":
 			if len(fields) != 3 {
 				return nil, bad("peer wants 2 arguments")
@@ -446,6 +453,16 @@ func main() {
 			log.Fatalf("dominod: open %s: %v", pre[0], err)
 		}
 		log.Printf("opened database %s", pre[0])
+	}
+	for _, path := range cfg.ftindex {
+		db, err := srv.OpenDB(path, domino.Options{})
+		if err != nil {
+			log.Fatalf("dominod: ftindex %s: %v", path, err)
+		}
+		if err := db.EnableFullText(); err != nil {
+			log.Fatalf("dominod: ftindex %s: %v", path, err)
+		}
+		log.Printf("full-text index enabled on %s", path)
 	}
 	spec := cfg.faultSpec
 	if *faultSpec != "" {

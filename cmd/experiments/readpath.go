@@ -243,15 +243,51 @@ func runW4(quick bool) {
 	tb.print()
 	fmt.Println("  (shape check: serialized put p99 ≈ scan length; snapshot scans keep it µs-scale)")
 
-	f, err := os.Create("BENCH_readpath.json")
+	base := loadRPBaseline()
+	base.W4 = results
+	saveRPBaseline(base)
+	fmt.Println("  baseline written to " + rpBaselineFile)
+}
+
+// --- read-path baseline file (shared by W4, W9, and the drift guard) ---
+
+// rpBaseline is the committed read-path baseline: the W4 latching matrix
+// plus the W9 bulk-read measurements. Each experiment rewrites only its
+// own section, so regenerating one does not discard the other.
+type rpBaseline struct {
+	W4 []w4Result `json:"w4"`
+	W9 []w9Result `json:"w9"`
+}
+
+const rpBaselineFile = "BENCH_readpath.json"
+
+func loadRPBaseline() rpBaseline {
+	var base rpBaseline
+	raw, err := os.ReadFile(rpBaselineFile)
+	if err != nil {
+		return base
+	}
+	if json.Unmarshal(raw, &base) != nil {
+		// Legacy layout: a flat W4 array from before W9 existed.
+		var flat []w4Result
+		if json.Unmarshal(raw, &flat) == nil {
+			base.W4 = flat
+		}
+	}
+	return base
+}
+
+func saveRPBaseline(base rpBaseline) {
+	f, err := os.Create(rpBaselineFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(base); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
-	fmt.Println("  baseline written to BENCH_readpath.json")
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -413,6 +413,9 @@ func runGuard(quick bool) {
 	if msg := guardW8(t); msg != "" {
 		failures = append(failures, msg)
 	}
+	if msg := guardW9(t); msg != "" {
+		failures = append(failures, msg)
+	}
 
 	t.print()
 	if len(failures) > 0 {

@@ -15,8 +15,12 @@
 //	                                             pipelined round trip
 //	get    -db PATH -unid UNID                   print a document
 //	delete -db PATH -unid UNID                   delete a document
-//	view   -db PATH -name VIEW                   render a view
-//	search -db PATH -query QUERY                 full-text search
+//	view   -db PATH -name VIEW [-start N -limit N]  render a view (one page
+//	                                             with -limit, else all pages)
+//	search -db PATH -query QUERY [-columns A,B]  full-text search, optionally
+//	       [-start N -limit N]                   with pre-joined columns
+//	scan   -db PATH [-formula F] [-columns A,B]  formula-filtered bulk scan
+//	       [-limit N]                            with typed projections
 //	mail   -to A,B -subject S -body TEXT         deposit mail for routing
 //	info   -db PATH                              database information
 package main
@@ -39,7 +43,7 @@ func main() {
 	secret := flag.String("secret", "", "user secret")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "notes: missing command (create|putbatch|get|delete|view|search|mail|info)")
+		fmt.Fprintln(os.Stderr, "notes: missing command (create|putbatch|get|delete|view|search|scan|mail|info)")
 		os.Exit(2)
 	}
 	if *user == "" {
@@ -66,6 +70,8 @@ func main() {
 		cmdErr = cmdView(client, args)
 	case "search":
 		cmdErr = cmdSearch(client, args)
+	case "scan":
+		cmdErr = cmdScan(client, args)
 	case "mail":
 		cmdErr = cmdMail(client, *user, args)
 	case "info":
@@ -237,10 +243,23 @@ func cmdDelete(c *domino.Client, args []string) error {
 	return nil
 }
 
+func printViewRow(r domino.RemoteViewRow) {
+	indent := strings.Repeat("  ", r.Indent)
+	// Category rows are marked structurally, so a document that renders
+	// zero columns still prints as a document.
+	if r.IsCategory {
+		fmt.Printf("%s[%s]\n", indent, r.Category)
+		return
+	}
+	fmt.Printf("%s%s  (%s)\n", indent, strings.Join(r.Columns, " | "), r.UNID)
+}
+
 func cmdView(c *domino.Client, args []string) error {
 	fs := flag.NewFlagSet("view", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database path")
 	name := fs.String("name", "", "view name")
+	start := fs.Int("start", 0, "first row index (with -limit)")
+	limit := fs.Int("limit", 0, "rows per page; 0 streams the whole view")
 	fs.Parse(args)
 	if *dbPath == "" || *name == "" {
 		return fmt.Errorf("view: -db and -name are required")
@@ -249,17 +268,27 @@ func cmdView(c *domino.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *limit > 0 {
+		p, err := db.ViewPage(*name, *start, *limit)
+		if err != nil {
+			return err
+		}
+		for _, r := range p.Rows {
+			printViewRow(r)
+		}
+		fmt.Printf("rows %d-%d of %d", p.Start, p.Next, p.Total)
+		if p.More {
+			fmt.Printf(" (next page: -start %d)", p.Next)
+		}
+		fmt.Println()
+		return nil
+	}
 	rows, err := db.ViewRows(*name)
 	if err != nil {
 		return err
 	}
 	for _, r := range rows {
-		indent := strings.Repeat("  ", r.Indent)
-		if r.Category != "" {
-			fmt.Printf("%s[%s]\n", indent, r.Category)
-			continue
-		}
-		fmt.Printf("%s%s  (%s)\n", indent, strings.Join(r.Columns, " | "), r.UNID)
+		printViewRow(r)
 	}
 	fmt.Printf("%d rows\n", len(rows))
 	return nil
@@ -269,6 +298,9 @@ func cmdSearch(c *domino.Client, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database path")
 	query := fs.String("query", "", "full-text query")
+	columns := fs.String("columns", "", "comma-separated summary items to join onto each hit")
+	start := fs.Int("start", 0, "first hit index")
+	limit := fs.Int("limit", 0, "hits per page; 0 uses the server page size")
 	fs.Parse(args)
 	if *dbPath == "" || *query == "" {
 		return fmt.Errorf("search: -db and -query are required")
@@ -277,14 +309,67 @@ func cmdSearch(c *domino.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	hits, err := db.Search(*query)
+	var cols []string
+	if *columns != "" {
+		cols = strings.Split(*columns, ",")
+	}
+	p, err := db.SearchPage(*query, cols, *start, *limit)
 	if err != nil {
 		return err
 	}
-	for _, h := range hits {
-		fmt.Printf("%8.3f  %s\n", h.Score, h.UNID)
+	for _, h := range p.Hits {
+		fmt.Printf("%8.3f  %s", h.Score, h.UNID)
+		for i, v := range h.Values {
+			fmt.Printf("  %s=%s", cols[i], v.String())
+		}
+		fmt.Println()
 	}
-	fmt.Printf("%d hits\n", len(hits))
+	fmt.Printf("hits %d-%d of %d", p.Start, p.Next, p.Total)
+	if p.More {
+		fmt.Printf(" (next page: -start %d)", p.Next)
+	}
+	fmt.Println()
+	return nil
+}
+
+// cmdScan streams a formula-filtered, item-projected bulk scan: every
+// matching document in NoteID order, any size database, in bounded pages.
+func cmdScan(c *domino.Client, args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database path")
+	formulaSrc := fs.String("formula", "", "selection formula (empty selects all)")
+	columns := fs.String("columns", "", "comma-separated items to project")
+	limit := fs.Int("limit", 0, "rows per page; 0 uses the server page size")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("scan: -db is required")
+	}
+	db, err := c.OpenDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	opts := domino.ScanOptions{Formula: *formulaSrc, Limit: *limit}
+	if *columns != "" {
+		opts.Columns = strings.Split(*columns, ",")
+	}
+	count := 0
+	err = db.Scan(opts, func(row domino.ScanRow) bool {
+		fmt.Printf("%s", row.UNID)
+		for i, v := range row.Values {
+			if v.Type == 0 {
+				fmt.Printf("  %s=<absent>", opts.Columns[i])
+			} else {
+				fmt.Printf("  %s=%s", opts.Columns[i], v.String())
+			}
+		}
+		fmt.Println()
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d documents\n", count)
 	return nil
 }
 

@@ -22,6 +22,7 @@
 //	nsfadmin mesh status HOST:PORT [-user U -secret S]
 //	nsfadmin mesh add    HOST:PORT [-user U -secret S] NAME PEER GLOB hot|cold INTERVAL pull|push|both [FORMULA...]
 //	nsfadmin mesh rm     HOST:PORT [-user U -secret S] NAME
+//	nsfadmin export HOST:PORT DB.nsf [-user U -secret S] [-formula F] [-columns A,B]
 package main
 
 import (
@@ -62,6 +63,11 @@ func main() {
 		return
 	case "mesh":
 		if err := cmdMesh(path, rest); err != nil {
+			log.Fatalf("nsfadmin: %v", err)
+		}
+		return
+	case "export":
+		if err := cmdExport(path, rest); err != nil {
 			log.Fatalf("nsfadmin: %v", err)
 		}
 		return
@@ -513,5 +519,53 @@ func cmdACL(db *domino.Database) error {
 	for _, e := range a.Entries() {
 		fmt.Printf("%-24s %-10s %v\n", e.Name, e.Level, e.Roles)
 	}
+	return nil
+}
+
+// cmdExport streams a remote database over the paginated bulk scan: every
+// document the user may read (optionally formula-filtered), one line per
+// document with the projected items. Paging keeps every response frame
+// bounded, so exporting works on databases of any size.
+func cmdExport(addr string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("export: database path required")
+	}
+	dbPath, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	user := fs.String("user", "admin", "user to authenticate as")
+	secret := fs.String("secret", "", "the user's secret")
+	formulaSrc := fs.String("formula", "", "selection formula (empty exports all)")
+	columns := fs.String("columns", "", "comma-separated items to project")
+	fs.Parse(rest)
+	c, err := domino.Dial(addr, *user, *secret)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	db, err := c.OpenDB(dbPath)
+	if err != nil {
+		return err
+	}
+	opts := domino.ScanOptions{Formula: *formulaSrc}
+	if *columns != "" {
+		opts.Columns = strings.Split(*columns, ",")
+	}
+	count := 0
+	err = db.Scan(opts, func(row domino.ScanRow) bool {
+		fmt.Printf("%s", row.UNID)
+		for i, v := range row.Values {
+			if v.Type == 0 {
+				continue
+			}
+			fmt.Printf("\t%s=%s", opts.Columns[i], v.String())
+		}
+		fmt.Println()
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported %d documents\n", count)
 	return nil
 }

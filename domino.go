@@ -248,6 +248,25 @@ type (
 	// BusyError is a shed response: the server refused the request before
 	// executing it, carrying its state and availability index.
 	BusyError = wire.BusyError
+	// RemoteViewRow is one rendered remote view row; IsCategory marks
+	// synthesized category headers explicitly. (ViewRow is the local
+	// rendering's row type.)
+	RemoteViewRow = wire.ViewRow
+	// ViewPage is one paginated page of a rendered remote view.
+	ViewPage = wire.ViewPage
+	// ScanOptions parameterize a bulk scan: selection formula, projected
+	// columns, and page size.
+	ScanOptions = wire.ScanOptions
+	// ScanRow is one projected document from a bulk scan, with typed
+	// item values.
+	ScanRow = wire.ScanRow
+	// ScanPage is one page of a bulk scan with its opaque resume cursor.
+	ScanPage = wire.ScanPage
+	// SearchHit is one paginated full-text hit with optional pre-joined
+	// summary column values.
+	SearchHit = wire.SearchHit
+	// SearchPage is one page of ranked full-text hits.
+	SearchPage = wire.SearchPage
 	// Router moves mail from mail.box to destinations.
 	Router = router.Router
 )

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/acl"
+	"repro/internal/formula"
 	"repro/internal/ft"
 	"repro/internal/nsf"
 	"repro/internal/store"
@@ -196,6 +197,23 @@ func (s *Session) Rows(viewName string) ([]view.Row, error) {
 	return ix.Rows(s.entryReadable), nil
 }
 
+// RowsPage renders one page of the named view — rows[start : start+limit]
+// of the same access-filtered rendering Rows produces, minus the synthetic
+// grand-total row so row indices stay stable while documents arrive — and
+// reports the total row count. It backs the paginated wire read path;
+// limit <= 0 means "to the end".
+func (s *Session) RowsPage(viewName string, start, limit int) ([]view.Row, int, error) {
+	ix, ok := s.db.View(viewName)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no view %q", viewName)
+	}
+	if s.id.Level < acl.Reader {
+		return nil, 0, fmt.Errorf("%w: %s may not read views", ErrAccessDenied, s.user)
+	}
+	rows, total := ix.RowsRange(s.entryReadable, start, limit)
+	return rows, total, nil
+}
+
 // entryReadable applies Reader-item filtering to a view entry without
 // loading the note.
 func (s *Session) entryReadable(e *view.Entry) bool {
@@ -259,4 +277,56 @@ func (s *Session) All(fn func(*nsf.Note) bool) error {
 		}
 		return fn(n)
 	})
+}
+
+// ScanFrom visits readable documents in NoteID order, starting strictly
+// after the given NoteID (0 scans from the beginning), optionally filtered
+// by a selection formula evaluated as this session's user. It is the
+// NSFSearch-style primitive the wire scan op pages with: the last NoteID a
+// page delivered is a resumable cursor into this physical database. Stubs,
+// design notes, documents the user may not read, and documents the formula
+// deselects are skipped without being counted.
+func (s *Session) ScanFrom(after nsf.NoteID, sel *formula.Formula, fn func(*nsf.Note) bool) error {
+	if s.id.Level < acl.Reader {
+		return fmt.Errorf("%w: %s may not read", ErrAccessDenied, s.user)
+	}
+	var ctx *formula.Context
+	if sel != nil {
+		ctx = s.db.evalContext(s.user)
+	}
+	var evalErr error
+	err := s.db.st.ScanFrom(after, func(n *nsf.Note) bool {
+		if n.IsStub() || n.Class != nsf.ClassDocument || !s.id.CanRead(n) {
+			return true
+		}
+		if sel != nil {
+			ok, serr := sel.Selects(n, ctx)
+			if serr != nil {
+				evalErr = serr
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		return fn(n)
+	})
+	if err == nil {
+		err = evalErr
+	}
+	return err
+}
+
+// SearchJoined runs a full-text query and joins the named summary columns
+// onto each hit, so a hit list renders without a per-hit Get round trip.
+// Each hit's document is loaded through this session's Get — the full
+// note-level ACL check, strictly at least as strict as the index-time
+// Reader filter Search applies — and hits whose document vanished or
+// became unreadable since indexing are dropped.
+func (s *Session) SearchJoined(query string, columns []string) ([]ft.HitSummary, error) {
+	hits, err := s.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	return ft.JoinSummaries(hits, columns, s.Get), nil
 }

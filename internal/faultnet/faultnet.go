@@ -52,6 +52,14 @@ type Plan struct {
 	// combined read+write volume exceeds this many bytes. It guarantees
 	// a mid-transfer failure regardless of the probabilistic knobs.
 	SeverAfterBytes int64
+	// Latency, when > 0, injects a fixed propagation delay before each
+	// write burst, emulating link RTT deterministically (unlike DelayProb,
+	// which is probabilistic jitter). Writes less than 1ms apart count as
+	// one burst and pay the latency once — a frame written as a header
+	// write plus a payload write is still one packet on the emulated link.
+	// Applying it on both directions of a connection pair yields
+	// RTT = 2 x Latency for a request/response exchange.
+	Latency time.Duration
 }
 
 // ParsePlan parses a comma-separated spec like
@@ -84,6 +92,8 @@ func ParsePlan(spec string) (Plan, error) {
 			p.MaxDelay, err = time.ParseDuration(strings.TrimSpace(v))
 		case "afterbytes":
 			p.SeverAfterBytes, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		case "latency":
+			p.Latency, err = time.ParseDuration(strings.TrimSpace(v))
 		default:
 			return p, fmt.Errorf("faultnet: unknown field %q", k)
 		}
@@ -97,13 +107,14 @@ func ParsePlan(spec string) (Plan, error) {
 // Stats counts injected faults, for test assertions that the schedule
 // actually fired.
 type Stats struct {
-	Drops    int64 // connections refused at establishment
-	Severs   int64 // connections killed mid-stream
-	Truncs   int64 // writes cut short then severed
-	Delays   int64 // delays injected
-	Conns    int64 // connections wrapped
-	IOBytes  int64 // bytes successfully transferred through wrapped conns
-	Disabled bool  // whether injection is currently off
+	Drops     int64 // connections refused at establishment
+	Severs    int64 // connections killed mid-stream
+	Truncs    int64 // writes cut short then severed
+	Delays    int64 // delays injected
+	Latencies int64 // fixed per-burst latency sleeps injected
+	Conns     int64 // connections wrapped
+	IOBytes   int64 // bytes successfully transferred through wrapped conns
+	Disabled  bool  // whether injection is currently off
 }
 
 // Net applies one Plan to any number of connections. The zero value is
@@ -115,12 +126,13 @@ type Net struct {
 	ordinal int64
 	off     atomic.Bool
 
-	drops  atomic.Int64
-	severs atomic.Int64
-	truncs atomic.Int64
-	delays atomic.Int64
-	conns  atomic.Int64
-	bytes  atomic.Int64
+	drops     atomic.Int64
+	severs    atomic.Int64
+	truncs    atomic.Int64
+	delays    atomic.Int64
+	latencies atomic.Int64
+	conns     atomic.Int64
+	bytes     atomic.Int64
 }
 
 // New builds a Net from a plan.
@@ -142,13 +154,14 @@ func (f *Net) Enable() { f.off.Store(false) }
 // Stats returns a snapshot of the fault counters.
 func (f *Net) Stats() Stats {
 	return Stats{
-		Drops:    f.drops.Load(),
-		Severs:   f.severs.Load(),
-		Truncs:   f.truncs.Load(),
-		Delays:   f.delays.Load(),
-		Conns:    f.conns.Load(),
-		IOBytes:  f.bytes.Load(),
-		Disabled: f.off.Load(),
+		Drops:     f.drops.Load(),
+		Severs:    f.severs.Load(),
+		Truncs:    f.truncs.Load(),
+		Delays:    f.delays.Load(),
+		Latencies: f.latencies.Load(),
+		Conns:     f.conns.Load(),
+		IOBytes:   f.bytes.Load(),
+		Disabled:  f.off.Load(),
 	}
 }
 
@@ -229,6 +242,9 @@ type conn struct {
 	rng     *rand.Rand
 	moved   int64
 	severed bool
+	// lastWrite is when the previous Write ran, for latency burst
+	// coalescing (guarded by mu).
+	lastWrite time.Time
 }
 
 // decide draws the fate of one I/O operation: a delay to apply first,
@@ -279,7 +295,28 @@ func (c *conn) Read(b []byte) (int, error) {
 	return n, err
 }
 
+// latencyBurstGap is the inter-write gap above which a write starts a new
+// burst and pays the plan's fixed Latency. Writes closer together than
+// this — e.g. a frame's header write immediately followed by its payload
+// write — ride the same emulated packet.
+const latencyBurstGap = time.Millisecond
+
 func (c *conn) Write(b []byte) (int, error) {
+	if lat := c.net.plan.Latency; lat > 0 && !c.net.off.Load() {
+		now := time.Now()
+		c.mu.Lock()
+		newBurst := c.lastWrite.IsZero() || now.Sub(c.lastWrite) > latencyBurstGap
+		c.mu.Unlock()
+		if newBurst {
+			c.net.latencies.Add(1)
+			time.Sleep(lat)
+		}
+		defer func() {
+			c.mu.Lock()
+			c.lastWrite = time.Now()
+			c.mu.Unlock()
+		}()
+	}
 	delay, sever, truncAt := c.decide(len(b), true)
 	if delay > 0 {
 		c.net.delays.Add(1)

@@ -1,0 +1,107 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFixedLatencyRTT wires an echo server and a client through one Net
+// with a fixed per-burst latency: a request/response exchange pays the
+// latency once per direction, and writes inside the burst gap coalesce
+// into one emulated packet.
+func TestFixedLatencyRTT(t *testing.T) {
+	const oneWay = 15 * time.Millisecond
+	fn := New(Plan{Latency: oneWay})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wrapped := fn.Listener(ln)
+	go func() {
+		c, err := wrapped.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := fn.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	if rtt < 2*oneWay {
+		t.Errorf("round trip took %v, want >= %v", rtt, 2*oneWay)
+	}
+	if got := fn.Stats().Latencies; got != 2 {
+		t.Errorf("latency sleeps = %d, want 2 (one per direction)", got)
+	}
+
+	// A frame written as header + payload — two writes microseconds apart —
+	// rides one emulated packet: the exchange still pays exactly two sleeps.
+	before := fn.Stats().Latencies
+	start = time.Now()
+	if _, err := c.Write([]byte("he")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ad")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt >= 4*oneWay {
+		t.Errorf("burst round trip took %v: writes did not coalesce", rtt)
+	}
+	if delta := fn.Stats().Latencies - before; delta != 2 {
+		t.Errorf("burst exchange paid %d sleeps, want 2", delta)
+	}
+
+	// Disable turns the link fast again without touching the counters.
+	fn.Disable()
+	before = fn.Stats().Latencies
+	if _, err := c.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if delta := fn.Stats().Latencies - before; delta != 0 {
+		t.Errorf("disabled net paid %d sleeps", delta)
+	}
+}
+
+func TestParsePlanLatency(t *testing.T) {
+	p, err := ParsePlan("latency=2500us,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Latency != 2500*time.Microsecond || p.Seed != 3 {
+		t.Errorf("plan = %+v", p)
+	}
+	if _, err := ParsePlan("latency=bogus"); err == nil {
+		t.Error("bad latency accepted")
+	}
+}

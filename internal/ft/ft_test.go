@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -157,10 +158,32 @@ func TestRankingPrefersHigherTF(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	ix := NewIndex()
-	for _, q := range []string{"", `"unterminated`, "(a", "a)", "NOT", "OR a", "the of and"} {
+	for _, q := range []string{`"unterminated`, "(a", "a)", "NOT", "OR a"} {
 		if _, err := ix.Search(q); err == nil {
 			t.Errorf("Search(%q) succeeded, want error", q)
 		}
+	}
+}
+
+// Queries that normalize to nothing — empty strings, stopwords alone,
+// punctuation — are not errors: they match no documents, the way a Notes
+// client expects typing "the" into the search bar to behave.
+func TestEmptyQueriesMatchNothing(t *testing.T) {
+	ix := NewIndex()
+	ix.Update(textNote("body", "the quick brown fox"))
+	for _, q := range []string{"", "   ", "the", "the of and", "...", "AND", "and and and"} {
+		rs, err := ix.Search(q)
+		if err != nil {
+			t.Errorf("Search(%q) error %v, want empty result", q, err)
+		}
+		if len(rs) != 0 {
+			t.Errorf("Search(%q) = %d hits, want 0", q, len(rs))
+		}
+	}
+	// The typed sentinel is still visible to callers that want to tell the
+	// user their query vanished, rather than silently showing no hits.
+	if _, err := parseQuery("the of and"); !errors.Is(err, ErrEmptyQuery) {
+		t.Errorf("parseQuery stopwords err = %v, want ErrEmptyQuery", err)
 	}
 }
 

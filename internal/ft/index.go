@@ -2,6 +2,7 @@ package ft
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"sort"
 	"sync"
@@ -111,9 +112,14 @@ type Result struct {
 	Readers []string
 }
 
-// Search evaluates query and returns hits ranked by tf-idf score.
+// Search evaluates query and returns hits ranked by tf-idf score. A query
+// that normalizes to nothing (stopwords and punctuation only) matches no
+// documents rather than erroring; malformed queries still return errors.
 func (ix *Index) Search(query string) ([]Result, error) {
 	q, err := parseQuery(query)
+	if errors.Is(err, ErrEmptyQuery) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +261,9 @@ func containsPos(ps []int32, want int32) bool {
 // every note supplied by scan. Results are unranked (score 1).
 func ScanSearch(query string, scan func(fn func(*nsf.Note) bool) error) ([]Result, error) {
 	q, err := parseQuery(query)
+	if errors.Is(err, ErrEmptyQuery) {
+		return nil, nil
+	}
 	if err != nil {
 		return nil, err
 	}

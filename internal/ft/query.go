@@ -1,9 +1,16 @@
 package ft
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrEmptyQuery marks a query that normalizes to nothing — all stopwords,
+// punctuation, or whitespace (e.g. "and", "the", "..."). It is not a syntax
+// error: Search treats it as matching no documents, while malformed queries
+// (unbalanced parens, a bare NOT) keep returning real errors.
+var ErrEmptyQuery = errors.New("ft: empty query")
 
 // Query grammar:
 //
@@ -90,7 +97,7 @@ func parseQuery(s string) (qnode, error) {
 		return nil, fmt.Errorf("ft: unexpected %q in query", t.text+t.kind)
 	}
 	if q == nil {
-		return nil, fmt.Errorf("ft: empty query")
+		return nil, ErrEmptyQuery
 	}
 	return q, nil
 }

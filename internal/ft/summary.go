@@ -1,0 +1,35 @@
+package ft
+
+import "repro/internal/nsf"
+
+// HitSummary is a search hit joined with projected item values, so a hit
+// list can render (subject, author, date columns) without a per-hit
+// document fetch.
+type HitSummary struct {
+	Result
+	// Values holds one value per requested column, in request order. A
+	// column the document lacks is the zero Value (Type 0).
+	Values []nsf.Value
+}
+
+// JoinSummaries projects the named items onto each hit by loading its
+// document through load. Hits whose load fails are dropped — the document
+// vanished (or became unreadable) between indexing and the join, and a hit
+// list should not surface rows the caller cannot open.
+func JoinSummaries(hits []Result, columns []string, load func(nsf.UNID) (*nsf.Note, error)) []HitSummary {
+	out := make([]HitSummary, 0, len(hits))
+	for _, h := range hits {
+		n, err := load(h.UNID)
+		if err != nil {
+			continue
+		}
+		vals := make([]nsf.Value, len(columns))
+		for i, c := range columns {
+			if n.Has(c) {
+				vals[i] = n.Get(c)
+			}
+		}
+		out = append(out, HitSummary{Result: h, Values: vals})
+	}
+	return out
+}

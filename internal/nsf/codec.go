@@ -147,6 +147,10 @@ func (d *decoder) length() (int, error) {
 // same encoding items use inside EncodeNote).
 func EncodeValue(v Value) []byte { return appendValue(nil, v) }
 
+// AppendValue appends the canonical binary encoding of a single value to
+// dst, letting callers reuse scratch buffers the way AppendNote does.
+func AppendValue(dst []byte, v Value) []byte { return appendValue(dst, v) }
+
 // DecodeValue decodes a value produced by EncodeValue.
 func DecodeValue(buf []byte) (Value, error) {
 	d := &decoder{buf: buf}

@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"math"
 	"net"
 	"time"
 
@@ -144,6 +143,8 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		resp, err = c.viewRows(d)
 	case wire.OpSearch:
 		resp, err = c.search(d)
+	case wire.OpScan:
+		resp, err = c.scan(d)
 	case wire.OpReplicaID:
 		resp, err = c.replicaID(d)
 	case wire.OpSummaries:
@@ -186,7 +187,9 @@ func (c *connState) hello(d *wire.Dec) (*wire.Enc, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	if version != 1 {
+	// Version 2 changed the view/search row encodings (paginated bulk
+	// reads), so v1 peers are refused rather than misparsed.
+	if version != 2 {
 		return nil, fmt.Errorf("unsupported protocol version %d", version)
 	}
 	if !c.s.opts.Directory.Authenticate(user, secret) {
@@ -310,65 +313,6 @@ func (c *connState) deleteNote(d *wire.Dec) (*wire.Enc, error) {
 	return wire.NewResp(wire.OpDeleteNote, wire.StatusOK), nil
 }
 
-func (c *connState) viewRows(d *wire.Dec) (*wire.Enc, error) {
-	hs, err := c.handle(d)
-	if err != nil {
-		return nil, err
-	}
-	name := d.Str()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	rows, err := hs.sess.Rows(name)
-	if err != nil {
-		return nil, err
-	}
-	// Synthetic grand-total rows are not representable in the wire row
-	// format; remote clients recompute totals if they need them.
-	filtered := rows[:0]
-	for _, r := range rows {
-		if !r.GrandTotal {
-			filtered = append(filtered, r)
-		}
-	}
-	rows = filtered
-	resp := wire.NewResp(wire.OpViewRows, wire.StatusOK).U32(uint32(len(rows)))
-	for _, r := range rows {
-		resp.Str(r.Category).U32(uint32(r.Indent))
-		if r.Entry != nil {
-			resp.UNID(r.Entry.UNID)
-			resp.U32(uint32(len(r.Entry.Values)))
-			for i := range r.Entry.Values {
-				resp.Str(r.Entry.ColumnText(i))
-			}
-		} else {
-			resp.UNID(nsf.UNID{})
-			resp.U32(0)
-		}
-	}
-	return resp, nil
-}
-
-func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
-	hs, err := c.handle(d)
-	if err != nil {
-		return nil, err
-	}
-	query := d.Str()
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	hits, err := hs.sess.Search(query)
-	if err != nil {
-		return nil, err
-	}
-	resp := wire.NewResp(wire.OpSearch, wire.StatusOK).U32(uint32(len(hits)))
-	for _, h := range hits {
-		resp.UNID(h.UNID).U64(uint64(math.Round(h.Score * 1e6)))
-	}
-	return resp, nil
-}
-
 // replicaID reports the database's replica ID, letting clients re-verify
 // replica-set membership on a live connection (e.g. after a reconnect).
 func (c *connState) replicaID(d *wire.Dec) (*wire.Enc, error) {
@@ -427,9 +371,11 @@ func (c *connState) fetch(d *wire.Dec) (*wire.Enc, error) {
 	if err != nil {
 		return nil, err
 	}
-	count := int(d.U32())
-	unids := make([]nsf.UNID, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
+	count := d.U32()
+	// Clamp the count-sized preallocation to what the request could hold
+	// (16 bytes per UNID); a corrupt count must not demand gigabytes.
+	unids := make([]nsf.UNID, 0, d.Cap(count, 16))
+	for i := uint32(0); i < count && d.Err() == nil; i++ {
 		unids = append(unids, d.UNID())
 	}
 	if err := d.Err(); err != nil {
@@ -455,9 +401,9 @@ func (c *connState) apply(d *wire.Dec) (*wire.Enc, error) {
 	if err != nil {
 		return nil, err
 	}
-	count := int(d.U32())
-	notes := make([]*nsf.Note, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
+	count := d.U32()
+	notes := make([]*nsf.Note, 0, d.Cap(count, 2))
+	for i := uint32(0); i < count && d.Err() == nil; i++ {
 		notes = append(notes, d.Note())
 	}
 	if err := d.Err(); err != nil {
@@ -508,7 +454,7 @@ func (c *connState) putBatch(d *wire.Dec) (*wire.Enc, error) {
 	sessKey := d.Str()
 	base := d.U64()
 	count := int(d.U32())
-	notes := make([]*nsf.Note, 0, count)
+	notes := make([]*nsf.Note, 0, d.Cap(uint32(count), 2))
 	for i := 0; i < count && d.Err() == nil; i++ {
 		notes = append(notes, d.Note())
 	}

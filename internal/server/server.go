@@ -85,6 +85,13 @@ type Options struct {
 	// dispatch-latency EWMA at or below it costs nothing, ten times it
 	// saturates the term. 0 uses 25ms.
 	TargetLatency time.Duration
+	// MaxPageRows caps rows per bulk-read page (view pages, scan pages,
+	// search pages) when the client does not ask for less. 0 uses 4096.
+	MaxPageRows int
+	// MaxPageBytes caps the encoded size of one bulk-read page; a page
+	// closes as soon as its response crosses this, so no response frame can
+	// approach wire.MaxFrame no matter how wide the rows are. 0 uses 4 MiB.
+	MaxPageBytes int
 }
 
 // Server is a running Domino-style server.
@@ -165,6 +172,12 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.TargetLatency <= 0 {
 		opts.TargetLatency = 25 * time.Millisecond
+	}
+	if opts.MaxPageRows <= 0 {
+		opts.MaxPageRows = 4096
+	}
+	if opts.MaxPageBytes <= 0 {
+		opts.MaxPageBytes = 4 << 20
 	}
 	s := &Server{
 		opts:  opts,

@@ -660,6 +660,41 @@ func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
 	return s.fetchNotes(ids, fn)
 }
 
+// ScanFrom calls fn for every note with NoteID strictly greater than
+// after, in NoteID order, until fn returns false. Snapshot semantics match
+// ScanAll. NoteIDs are assigned monotonically and survive compaction, so a
+// bulk reader that remembers the last ID it consumed can resume a scan of
+// this physical database exactly where it stopped — the cursor the wire
+// scan ops page with. (NoteIDs are per-copy: a cursor is meaningless
+// against another replica of the same database.)
+func (s *Store) ScanFrom(after nsf.NoteID, fn func(*nsf.Note) bool) error {
+	if after == 0 {
+		return s.ScanAll(fn)
+	}
+	if s.opts.SerializeReads {
+		return s.scanAllSerialized(func(n *nsf.Note) bool {
+			if n.ID <= after {
+				return true
+			}
+			return fn(n)
+		})
+	}
+	if after == ^nsf.NoteID(0) {
+		return nil
+	}
+	s.mu.RLock()
+	var ids []nsf.NoteID
+	err := s.byID.Ascend(idKey(after+1), func(k, _ []byte) bool {
+		ids = append(ids, nsf.NoteID(binary.BigEndian.Uint32(k)))
+		return true
+	})
+	s.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return s.fetchNotes(ids, fn)
+}
+
 // fetchNotes delivers the snapshot ID list to fn: each batch of notes is
 // fetched under one brief read latch, then fn runs latch-free, so fn may
 // re-enter the store (even to write) and a slow consumer never holds the

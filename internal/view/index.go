@@ -246,6 +246,34 @@ func (ix *Index) Rows(allow func(*Entry) bool) []Row {
 	return ix.addTotals(rows)
 }
 
+// RowsRange renders rows[start : start+limit] of the view along with the
+// total row count, for paginated readers. Row indices are positions in the
+// full Rows rendering minus the synthetic grand-total row, which is
+// excluded here — it would otherwise sit at a shifting index as documents
+// arrive, breaking cursor arithmetic (category totals on header rows are
+// still present). Indices are stable across pages as long as the index
+// itself does not change between calls; a reader that needs exactness
+// checks the returned total against its cursor. limit <= 0 means "to the
+// end"; start past the end returns an empty page.
+func (ix *Index) RowsRange(allow func(*Entry) bool, start, limit int) ([]Row, int) {
+	rows := ix.Rows(allow)
+	if n := len(rows); n > 0 && rows[n-1].GrandTotal {
+		rows = rows[:n-1]
+	}
+	total := len(rows)
+	if start < 0 {
+		start = 0
+	}
+	if start > total {
+		start = total
+	}
+	end := total
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	return rows[start:end], total
+}
+
 // addTotals fills category rows with the sums of Totals columns over the
 // rows beneath them and appends a grand-total row. A no-op when the view
 // defines no totals columns.

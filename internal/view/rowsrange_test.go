@@ -1,0 +1,82 @@
+package view
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRowsRange pins the pagination primitive the wire view op serves
+// from: stable [start, start+limit) slices over the full rendering with
+// the grand-total row excluded, so row indices do not shift between pages.
+func TestRowsRange(t *testing.T) {
+	def := mustDef(t, "bycat", "SELECT @All",
+		Column{Title: "Cat", ItemName: "Cat", Categorized: true},
+		Column{Title: "N", ItemName: "N", Totals: true})
+	ix := NewIndex(def)
+	for i := 0; i < 17; i++ {
+		d := doc(map[string]any{"Cat": fmt.Sprintf("c%d", i%3), "N": i})
+		if _, err := ix.Update(d, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full := ix.Rows(nil)
+	if n := len(full); n == 0 || !full[n-1].GrandTotal {
+		t.Fatal("totals view did not render a grand-total row")
+	}
+	want := full[:len(full)-1] // 17 docs + 3 category headers
+
+	all, total := ix.RowsRange(nil, 0, 0)
+	if total != len(want) || len(all) != len(want) {
+		t.Fatalf("RowsRange(0,0) = %d rows, total %d; want %d", len(all), total, len(want))
+	}
+	for _, r := range all {
+		if r.GrandTotal {
+			t.Error("grand-total row leaked into a page")
+		}
+	}
+
+	// Concatenated fixed-size pages reproduce the full rendering.
+	var paged []Row
+	for start := 0; start < total; {
+		rows, tot := ix.RowsRange(nil, start, 5)
+		if tot != total {
+			t.Errorf("total drifted: %d then %d", total, tot)
+		}
+		if len(rows) == 0 {
+			t.Fatal("empty page before end")
+		}
+		paged = append(paged, rows...)
+		start += len(rows)
+	}
+	if len(paged) != total {
+		t.Fatalf("paged %d rows, want %d", len(paged), total)
+	}
+	for i := range paged {
+		if rowID(paged[i]) != rowID(want[i]) {
+			t.Errorf("row %d: paged %q, full %q", i, rowID(paged[i]), rowID(want[i]))
+		}
+	}
+
+	// Out-of-range and clamped starts.
+	if rows, tot := ix.RowsRange(nil, total+10, 5); len(rows) != 0 || tot != total {
+		t.Errorf("past-end range = %d rows, total %d", len(rows), tot)
+	}
+	if rows, _ := ix.RowsRange(nil, -4, 3); len(rows) != 3 {
+		t.Errorf("negative start = %d rows, want 3", len(rows))
+	}
+
+	// The allow filter shrinks both the rows and the reported total.
+	deny := func(e *Entry) bool { return e.ColumnText(1) != "0" }
+	filtered, ftot := ix.RowsRange(deny, 0, 0)
+	if ftot >= total || len(filtered) != ftot {
+		t.Errorf("filtered range = %d rows, total %d (unfiltered %d)", len(filtered), ftot, total)
+	}
+}
+
+func rowID(r Row) string {
+	if r.Entry == nil {
+		return "cat:" + r.Category
+	}
+	return "doc:" + r.Entry.UNID.String()
+}

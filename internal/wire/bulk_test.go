@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/nsf"
+)
+
+// respBody strips the op/status prefix a response Enc carries, yielding
+// the payload a client-side decoder sees.
+func respBody(e *Enc) []byte { return append([]byte(nil), e.Bytes()[2:]...) }
+
+func TestViewPageDecode(t *testing.T) {
+	u1, u2 := nsf.NewUNID(), nsf.NewUNID()
+	e := NewResp(OpViewRows, StatusOK).U32(42).U32(7)
+	e.U8(2).Str("Projects").U32(0) // category header
+	e.U8(1).U32(1).UNID(u1).U32(2).Str("alpha").Str("x")
+	e.U8(1).U32(1).UNID(u2).U32(0) // doc legitimately rendering zero columns
+	e.U8(0)                        // end sentinel
+	e.U8(1).U32(10)                // more, next
+	p, err := decodeViewPage(NewDec(respBody(e)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ViewPage{
+		Rows: []ViewRow{
+			{IsCategory: true, Category: "Projects"},
+			{Indent: 1, UNID: u1, Columns: []string{"alpha", "x"}},
+			{Indent: 1, UNID: u2},
+		},
+		Total: 42, Start: 7, Next: 10, More: true,
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("page = %+v, want %+v", p, want)
+	}
+	// The kind byte keeps the zero-column document a document.
+	if p.Rows[2].IsCategory {
+		t.Error("zero-column document decoded as category")
+	}
+}
+
+func TestViewPageBadKind(t *testing.T) {
+	e := NewResp(OpViewRows, StatusOK).U32(1).U32(0).U8(9)
+	if _, err := decodeViewPage(NewDec(respBody(e))); err == nil {
+		t.Error("bad row kind accepted")
+	}
+}
+
+func TestScanPageDecode(t *testing.T) {
+	u := nsf.NewUNID()
+	e := NewResp(OpScan, StatusOK)
+	e.U8(1).U32(33).UNID(u)
+	e.U8(1).Value(nsf.TextValue("hello"))
+	e.U8(0) // absent projected column
+	e.U8(0) // end sentinel
+	e.U8(1).Blob([]byte("cursor-bytes"))
+	p, err := decodeScanPage(NewDec(respBody(e)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != 1 || !p.More || string(p.Cursor) != "cursor-bytes" {
+		t.Fatalf("page = %+v", p)
+	}
+	r := p.Rows[0]
+	if r.NoteID != 33 || r.UNID != u {
+		t.Errorf("row identity = %+v", r)
+	}
+	if r.Values[0].String() != "hello" || r.Values[0].Type != nsf.TypeText {
+		t.Errorf("projected value = %+v", r.Values[0])
+	}
+	if r.Values[1].Type != 0 {
+		t.Errorf("absent column has type %d, want 0", r.Values[1].Type)
+	}
+}
+
+// TestSearchScoreRoundTrip pins the score encoding: IEEE-754 bits, so
+// negative and zero scores survive the wire. The earlier fixed-point
+// u64(score*1e6) encoding wrapped negatives into huge positives.
+func TestSearchScoreRoundTrip(t *testing.T) {
+	scores := []float64{2.5, 0, -3.75, 1e-9, -1e-9, math.MaxFloat64}
+	e := NewResp(OpSearch, StatusOK).U32(uint32(len(scores))).U32(0)
+	us := make([]nsf.UNID, len(scores))
+	for i, s := range scores {
+		us[i] = nsf.NewUNID()
+		e.U8(1).UNID(us[i]).U64(math.Float64bits(s))
+	}
+	e.U8(0).U8(0).U32(uint32(len(scores)))
+	p, err := decodeSearchPage(NewDec(respBody(e)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hits) != len(scores) || p.More {
+		t.Fatalf("page = %+v", p)
+	}
+	for i, h := range p.Hits {
+		if h.UNID != us[i] || h.Score != scores[i] {
+			t.Errorf("hit %d = (%v, %v), want (%v, %v)", i, h.UNID, h.Score, us[i], scores[i])
+		}
+	}
+}
+
+func TestSearchPageJoinedColumns(t *testing.T) {
+	u := nsf.NewUNID()
+	e := NewResp(OpSearch, StatusOK).U32(1).U32(0)
+	e.U8(1).UNID(u).U64(math.Float64bits(1.5))
+	e.U8(1).Value(nsf.TextValue("joined"))
+	e.U8(0) // absent column
+	e.U8(0).U8(0).U32(1)
+	p, err := decodeSearchPage(NewDec(respBody(e)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.Hits[0]
+	if h.Values[0].String() != "joined" || h.Values[1].Type != 0 {
+		t.Errorf("joined values = %+v", h.Values)
+	}
+}
+
+// TestUntrustedCountsClamped sends bodies whose leading counts claim
+// astronomically more elements than the body carries. Decoders must fail
+// cleanly without attempting a count-sized allocation.
+func TestUntrustedCountsClamped(t *testing.T) {
+	// View row claiming 4 billion columns.
+	e := NewResp(OpViewRows, StatusOK).U32(1).U32(0)
+	e.U8(1).U32(0).UNID(nsf.NewUNID()).U32(0xFFFFFFFF)
+	if _, err := decodeViewPage(NewDec(respBody(e))); err == nil {
+		t.Error("truncated view row accepted")
+	}
+
+	// Dec.Cap is the clamp every count-sized make() goes through.
+	d := NewDec(make([]byte, 64))
+	if got := d.Cap(0xFFFFFFFF, 33); got > 64 {
+		t.Errorf("Cap(huge, 33) = %d", got)
+	}
+	if got := d.Cap(2, 16); got != 2 {
+		t.Errorf("Cap(2, 16) = %d, want 2", got)
+	}
+}
+
+// FuzzDecodeBulkPages throws arbitrary bodies at the three bulk-read
+// decoders: they must never panic or allocate past the body size.
+func FuzzDecodeBulkPages(f *testing.F) {
+	u := nsf.NewUNID()
+	view := NewResp(OpViewRows, StatusOK).U32(3).U32(0)
+	view.U8(2).Str("cat").U32(0)
+	view.U8(1).U32(1).UNID(u).U32(1).Str("col")
+	view.U8(0).U8(0).U32(2)
+	f.Add(respBody(view))
+	scan := NewResp(OpScan, StatusOK)
+	scan.U8(1).U32(7).UNID(u).U8(1).Value(nsf.TextValue("v")).U8(0).U8(0).Blob([]byte("c"))
+	f.Add(respBody(scan))
+	search := NewResp(OpSearch, StatusOK).U32(1).U32(0)
+	search.U8(1).UNID(u).U64(math.Float64bits(-1.5)).U8(0).U8(0).U32(1)
+	f.Add(respBody(search))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		decodeViewPage(NewDec(append([]byte(nil), body...)))
+		decodeScanPage(NewDec(append([]byte(nil), body...)), 1)
+		decodeSearchPage(NewDec(append([]byte(nil), body...)), 1)
+	})
+}

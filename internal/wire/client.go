@@ -8,13 +8,15 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/ft"
 	"repro/internal/nsf"
 	"repro/internal/repl"
 )
 
-// protocolVersion is negotiated in the hello exchange.
-const protocolVersion = 1
+// protocolVersion is negotiated in the hello exchange. Version 2 replaced
+// the one-shot view/search reads with paginated bulk ops (and added OpScan);
+// the row encodings changed shape, so v1 peers are refused outright rather
+// than silently misparsed.
+const protocolVersion = 2
 
 // Options tune a client's fault tolerance. The zero value gets production
 // defaults; see the field comments.
@@ -560,57 +562,6 @@ func (r *RemoteDB) PutBatch(notes []*nsf.Note) (stored int, err error) {
 	return stored, nil
 }
 
-// ViewRow is a rendered remote view row.
-type ViewRow struct {
-	Category string
-	Indent   int
-	UNID     nsf.UNID
-	Columns  []string
-}
-
-// ViewRows renders a view server-side with the caller's read filtering.
-func (r *RemoteDB) ViewRows(view string) ([]ViewRow, error) {
-	d, err := r.call(OpViewRows, true, func() *Enc {
-		return NewEnc(OpViewRows).U32(r.handle).Str(view)
-	})
-	if err != nil {
-		return nil, err
-	}
-	count := int(d.U32())
-	rows := make([]ViewRow, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
-		var row ViewRow
-		row.Category = d.Str()
-		row.Indent = int(d.U32())
-		row.UNID = d.UNID()
-		cols := int(d.U32())
-		for j := 0; j < cols && d.Err() == nil; j++ {
-			row.Columns = append(row.Columns, d.Str())
-		}
-		rows = append(rows, row)
-	}
-	return rows, d.Err()
-}
-
-// Search runs a full-text query server-side.
-func (r *RemoteDB) Search(query string) ([]ft.Result, error) {
-	d, err := r.call(OpSearch, true, func() *Enc {
-		return NewEnc(OpSearch).U32(r.handle).Str(query)
-	})
-	if err != nil {
-		return nil, err
-	}
-	count := int(d.U32())
-	out := make([]ft.Result, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
-		var res ft.Result
-		res.UNID = d.UNID()
-		res.Score = float64(d.U64()) / 1e6
-		out = append(out, res)
-	}
-	return out, d.Err()
-}
-
 // DBInfo describes a remote database.
 type DBInfo struct {
 	Title string
@@ -649,9 +600,12 @@ func (r *RemoteDB) Summaries(since nsf.Timestamp, formulaSrc string) ([]repl.Sum
 		return nil, 0, err
 	}
 	now := nsf.Timestamp(d.U64())
-	count := int(d.U32())
-	out := make([]repl.Summary, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
+	count := d.U32()
+	// A summary encodes to 33 fixed bytes; clamp the preallocation to what
+	// the payload could actually hold so a corrupt count can't demand
+	// gigabytes up front.
+	out := make([]repl.Summary, 0, d.Cap(count, 33))
+	for i := uint32(0); i < count && d.Err() == nil; i++ {
 		out = append(out, d.Summary())
 	}
 	return out, now, d.Err()
@@ -669,9 +623,11 @@ func (r *RemoteDB) Fetch(unids []nsf.UNID) ([]*nsf.Note, error) {
 	if err != nil {
 		return nil, err
 	}
-	count := int(d.U32())
-	out := make([]*nsf.Note, 0, count)
-	for i := 0; i < count && d.Err() == nil; i++ {
+	count := d.U32()
+	// Clamp the count-sized preallocation: an encoded note is at least a
+	// one-byte length prefix plus a byte of body.
+	out := make([]*nsf.Note, 0, d.Cap(count, 2))
+	for i := uint32(0); i < count && d.Err() == nil; i++ {
 		out = append(out, d.Note())
 	}
 	return out, d.Err()

@@ -102,6 +102,19 @@ func (e *Enc) Note(n *nsf.Note) *Enc {
 	return e
 }
 
+// Value appends a typed item value as a blob, in the canonical nsf value
+// encoding. Like Note, the encoding runs through a pooled scratch buffer.
+func (e *Enc) Value(v nsf.Value) *Enc {
+	bp := noteEncPool.Get().(*[]byte)
+	enc := nsf.AppendValue((*bp)[:0], v)
+	e.Blob(enc)
+	if cap(enc) <= maxPooledEnc {
+		*bp = enc
+	}
+	noteEncPool.Put(bp)
+	return e
+}
+
 // Summary appends a replication summary. Deleted and SelStub travel as a
 // flags byte (bit 0 deleted, bit 1 selection stub).
 func (e *Enc) Summary(s repl.Summary) *Enc {
@@ -221,6 +234,36 @@ func (d *Dec) Note() *nsf.Note {
 		return nil
 	}
 	return n
+}
+
+// Value reads a typed item value appended by Enc.Value.
+func (d *Dec) Value() nsf.Value {
+	b := d.Blob()
+	if d.err != nil {
+		return nsf.Value{}
+	}
+	v, err := nsf.DecodeValue(b)
+	if err != nil {
+		d.fail("bad value: %v", err)
+		return nsf.Value{}
+	}
+	return v
+}
+
+// Cap clamps an untrusted element count to what the remaining payload
+// bytes could possibly encode, given a minimum encoded size per element.
+// Preallocations sized by a peer-supplied count MUST go through this: a
+// single corrupt 4-byte count would otherwise demand gigabytes before the
+// first element fails to parse.
+func (d *Dec) Cap(count uint32, minElem int) int {
+	if minElem < 1 {
+		minElem = 1
+	}
+	max := d.Remaining() / minElem
+	if int(count) > max || int(count) < 0 {
+		return max
+	}
+	return int(count)
 }
 
 // Summary reads a replication summary.

@@ -754,7 +754,21 @@ func (f *FailoverDB) Search(query string) ([]ft.Result, error) {
 	return out, err
 }
 
-// ViewRows renders a view on the current mate.
+// SearchPage runs one page of a full-text query, optionally pre-joining
+// summary columns, on the current mate.
+func (f *FailoverDB) SearchPage(query string, columns []string, start, limit int) (SearchPage, error) {
+	var p SearchPage
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		p, err = r.SearchPage(query, columns, start, limit)
+		return err
+	})
+	return p, err
+}
+
+// ViewRows renders a view on the current mate, paging through it. A mate
+// switch between pages restarts nothing: view pages address rows by index,
+// so the next page simply comes from the new mate's rendering.
 func (f *FailoverDB) ViewRows(view string) ([]ViewRow, error) {
 	var rows []ViewRow
 	err := f.do(true, func(r *RemoteDB) error {
@@ -763,6 +777,53 @@ func (f *FailoverDB) ViewRows(view string) ([]ViewRow, error) {
 		return err
 	})
 	return rows, err
+}
+
+// ViewPage fetches one page of a rendered view from the current mate.
+func (f *FailoverDB) ViewPage(view string, start, limit int) (ViewPage, error) {
+	var p ViewPage
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		p, err = r.ViewPage(view, start, limit)
+		return err
+	})
+	return p, err
+}
+
+// ScanPage runs one page of a bulk scan on the current mate. Scan cursors
+// are bound to the server that minted them (NoteIDs are per-copy), so a
+// page resumed after a mate switch fails with a server error rather than
+// silently skipping or repeating documents; callers restart the scan with
+// a nil cursor in that case.
+func (f *FailoverDB) ScanPage(opts ScanOptions, cursor []byte) (ScanPage, error) {
+	var p ScanPage
+	err := f.do(true, func(r *RemoteDB) error {
+		var err error
+		p, err = r.ScanPage(opts, cursor)
+		return err
+	})
+	return p, err
+}
+
+// Scan pages a formula-filtered, projected scan through fn. A mate switch
+// mid-scan invalidates the cursor (see ScanPage) and surfaces as an error.
+func (f *FailoverDB) Scan(opts ScanOptions, fn func(ScanRow) bool) error {
+	var cursor []byte
+	for {
+		p, err := f.ScanPage(opts, cursor)
+		if err != nil {
+			return err
+		}
+		for _, row := range p.Rows {
+			if !fn(row) {
+				return nil
+			}
+		}
+		if !p.More {
+			return nil
+		}
+		cursor = p.Cursor
+	}
 }
 
 // Info fetches the database statistics from the current mate.

@@ -92,6 +92,14 @@ const (
 	// OpMeshRemove removes a mesh link by name; its replication cursors
 	// persist, so re-adding the link resumes incrementally.
 	OpMeshRemove
+	// OpScan is the NSFSearch-style bulk read: a server-side scan filtered
+	// by a selection formula, projecting only the requested items as typed
+	// values, returned in paginated batches. Each page carries an opaque
+	// resume cursor (the last NoteID delivered, bound to the serving
+	// server), so a scan interrupted by a reconnect continues where it
+	// stopped instead of restarting. Page size is admission-aware: a loaded
+	// server serves smaller pages.
+	OpScan
 )
 
 // respBit marks response frames.
