@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement bench-mesh bench-bulkread drift clean
+.PHONY: all build vet test race stress fuzz verify bench experiments bench-backup bench-readpath bench-availability bench-writepath bench-placement bench-mesh bench-bulkread bench-deadline drift clean
 
 all: verify
 
@@ -98,11 +98,19 @@ bench-bulkread:
 bench-mesh:
 	$(GO) run ./cmd/experiments -exp W8
 
+# Regenerate the deadline baseline (BENCH_deadline.json): W10 stalled-mate
+# read tail (flat-timeout failover vs budget+hedge), wasted work under
+# overload with and without wire budgets, and the write-safety audit across
+# deadline-expiry retries (zero acked writes lost or duplicated).
+bench-deadline:
+	$(GO) run ./cmd/experiments -exp W10
+
 # Bench drift guard: re-measure W1/W7 (write path), the W6 re-home median,
-# the W8 mesh ring time-to-convergence, and the W9 paginated view-open
-# probe at quick sizes; fail on regression beyond each probe's tolerance
-# against the committed BENCH_writepath.json / BENCH_placement.json /
-# BENCH_mesh.json / BENCH_readpath.json.
+# the W8 mesh ring time-to-convergence, the W9 paginated view-open probe,
+# and the W10 hedged stalled-mate p99 at quick sizes; fail on regression
+# beyond each probe's tolerance against the committed BENCH_writepath.json /
+# BENCH_placement.json / BENCH_mesh.json / BENCH_readpath.json /
+# BENCH_deadline.json.
 drift:
 	$(GO) run ./cmd/experiments -exp GUARD -quick
 

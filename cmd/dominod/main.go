@@ -117,6 +117,7 @@ type config struct {
 	backupFullN int // a full image every Nth backup run (0 = every run)
 	maxInFlight int
 	admitWait   time.Duration
+	peerBudget  time.Duration // deadline budget for ops to peers (0 = none)
 	drain       time.Duration // graceful-drain timeout on shutdown
 	advertise   string
 	placements  []placementDecl
@@ -310,6 +311,15 @@ func parseConfig(path string) (*config, error) {
 				return nil, bad(err.Error())
 			}
 			cfg.admitWait = d
+		case "peerbudget":
+			if len(fields) != 2 {
+				return nil, bad("peerbudget wants 1 argument")
+			}
+			d, err := time.ParseDuration(fields[1])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			cfg.peerBudget = d
 		case "drain":
 			if len(fields) != 2 {
 				return nil, bad("drain wants 1 argument")
@@ -443,6 +453,7 @@ func main() {
 		ArchiveLogDir:     cfg.archiveLog,
 		MaxInFlight:       cfg.maxInFlight,
 		AdmitWait:         cfg.admitWait,
+		PeerOpBudget:      cfg.peerBudget,
 		AdvertiseAddr:     cfg.advertise,
 	})
 	if err != nil {

@@ -40,7 +40,8 @@ var experiments = []experiment{
 	{"W7", "Group-commit write scaling: writers x SyncWAL x group commit", runW7},
 	{"W8", "Epidemic mesh convergence under churn: ring + hub-spoke, partition, killed mate", runW8},
 	{"W9", "Paginated bulk reads: view open over 5ms RTT vs per-note, frame-bound 200k-row stream", runW9},
-	{"GUARD", "Bench drift guard (W1/W7 write path + W6 re-home + W8 mesh + W9 bulk read vs committed baselines)", runGuard},
+	{"W10", "Deadline budgets + hedged reads: stalled-mate tail, wasted work, write-safety audit", runW10},
+	{"GUARD", "Bench drift guard (W1/W7 write path + W6 re-home + W8 mesh + W9 bulk read + W10 deadline vs committed baselines)", runGuard},
 	{"F1", "Incremental replication vs full copy across deltas", runF1},
 	{"F2", "Conflict outcomes vs concurrent-edit overlap", runF2},
 	{"F3", "Full-text query latency: index vs scan", runF3},

@@ -225,7 +225,7 @@ func measureW7(writers, opsPer int, syncWAL, groupCommit bool) w7Result {
 	// Generate every writer's corpus before the clock starts.
 	corpora := make([][]*domino.Note, writers)
 	for w := range corpora {
-		corpora[w] = workload.New(int64(700 + w)).Corpus(opsPer, 256)
+		corpora[w] = workload.New(int64(700+w)).Corpus(opsPer, 256)
 	}
 	lats := make([][]time.Duration, writers)
 	var wg sync.WaitGroup
@@ -414,6 +414,13 @@ func runGuard(quick bool) {
 		failures = append(failures, msg)
 	}
 	if msg := guardW9(t); msg != "" {
+		failures = append(failures, msg)
+	}
+
+	// W10 probe: hedged-read tail under a stalled mate (wall-clock
+	// dominated; also re-checks the wasted-work and write-safety audits
+	// committed in the deadline baseline).
+	if msg := guardW10(t); msg != "" {
 		failures = append(failures, msg)
 	}
 

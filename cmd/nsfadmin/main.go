@@ -412,8 +412,9 @@ func cmdMesh(sub string, args []string) error {
 	fs := flag.NewFlagSet("mesh "+sub, flag.ExitOnError)
 	user := fs.String("user", "admin", "user to authenticate as")
 	secret := fs.String("secret", "", "the user's secret")
+	budget := fs.Duration("budget", 0, "per-operation deadline budget (0 = none)")
 	fs.Parse(rest)
-	c, err := domino.Dial(addr, *user, *secret)
+	c, err := domino.DialOptions(addr, *user, *secret, domino.ClientOptions{OpBudget: *budget})
 	if err != nil {
 		return err
 	}
@@ -536,8 +537,9 @@ func cmdExport(addr string, args []string) error {
 	secret := fs.String("secret", "", "the user's secret")
 	formulaSrc := fs.String("formula", "", "selection formula (empty exports all)")
 	columns := fs.String("columns", "", "comma-separated items to project")
+	budget := fs.Duration("budget", 0, "per-page deadline budget (0 = none)")
 	fs.Parse(rest)
-	c, err := domino.Dial(addr, *user, *secret)
+	c, err := domino.DialOptions(addr, *user, *secret, domino.ClientOptions{OpBudget: *budget})
 	if err != nil {
 		return err
 	}

@@ -248,6 +248,11 @@ type (
 	// BusyError is a shed response: the server refused the request before
 	// executing it, carrying its state and availability index.
 	BusyError = wire.BusyError
+	// DeadlineError is a deadline-budget expiry: Ambiguous distinguishes
+	// "provably never executed" (safe to re-send) from "may have executed"
+	// (re-send only idempotent ops); Remote tells whether the server or the
+	// client made the call.
+	DeadlineError = wire.DeadlineError
 	// RemoteViewRow is one rendered remote view row; IsCategory marks
 	// synthesized category headers explicitly. (ViewRow is the local
 	// rendering's row type.)
@@ -275,6 +280,11 @@ type (
 // by admission control and provably never executed, so it is always safe
 // to re-send.
 var ErrServerBusy = wire.ErrServerBusy
+
+// ErrDeadline matches any DeadlineError via errors.Is: the operation's
+// deadline budget ran out. Check the DeadlineError's Ambiguous field
+// before re-sending a non-idempotent operation.
+var ErrDeadline = wire.ErrDeadline
 
 // NewServer creates a server over a data directory.
 func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }

@@ -49,14 +49,14 @@ const (
 )
 
 const (
-	imageMagic     = "NSFBKIM1"
-	imageVersion   = 1
-	imageHdrSize   = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 32 + 8 + 8 + 4 + 4
-	digestSize     = 32
-	imageExt       = ".nbk"
-	tmpSuffix      = ".tmp"
-	fullImageName  = "full"
-	incrImageName  = "incr"
+	imageMagic    = "NSFBKIM1"
+	imageVersion  = 1
+	imageHdrSize  = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 32 + 8 + 8 + 4 + 4
+	digestSize    = 32
+	imageExt      = ".nbk"
+	tmpSuffix     = ".tmp"
+	fullImageName = "full"
+	incrImageName = "incr"
 )
 
 // ErrCorruptImage reports an image whose header, body, or digest failed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -136,8 +137,19 @@ const putBatchWaitStride = 256
 // It returns how many documents were stored: on error, exactly the first
 // `applied` documents were stored and are durable.
 func (s *Session) PutBatch(notes []*nsf.Note) (applied int, err error) {
+	return s.PutBatchCtx(context.Background(), notes)
+}
+
+// PutBatchCtx is PutBatch with cooperative cancellation: the per-document
+// loop stops at a spent deadline, and — exactly like a mid-batch error —
+// the applied prefix is made durable before returning, so the caller's
+// cursor accounting stays truthful and a re-sent batch dedups cleanly.
+func (s *Session) PutBatchCtx(ctx context.Context, notes []*nsf.Note) (applied int, err error) {
 	var last store.Commit
 	for i, n := range notes {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if n.Class != nsf.ClassDocument {
 			err = fmt.Errorf("core: PutBatch only stores documents (document %d)", i)
 			break
@@ -203,6 +215,13 @@ func (s *Session) Rows(viewName string) ([]view.Row, error) {
 // reports the total row count. It backs the paginated wire read path;
 // limit <= 0 means "to the end".
 func (s *Session) RowsPage(viewName string, start, limit int) ([]view.Row, int, error) {
+	return s.RowsPageCtx(context.Background(), viewName, start, limit)
+}
+
+// RowsPageCtx is RowsPage with cooperative cancellation: the underlying
+// row walk checks the deadline periodically, so a page requested by a
+// caller that has already given up stops rendering mid-walk.
+func (s *Session) RowsPageCtx(ctx context.Context, viewName string, start, limit int) ([]view.Row, int, error) {
 	ix, ok := s.db.View(viewName)
 	if !ok {
 		return nil, 0, fmt.Errorf("core: no view %q", viewName)
@@ -210,8 +229,7 @@ func (s *Session) RowsPage(viewName string, start, limit int) ([]view.Row, int, 
 	if s.id.Level < acl.Reader {
 		return nil, 0, fmt.Errorf("%w: %s may not read views", ErrAccessDenied, s.user)
 	}
-	rows, total := ix.RowsRange(s.entryReadable, start, limit)
-	return rows, total, nil
+	return ix.RowsRangeCtx(ctx, s.entryReadable, start, limit)
 }
 
 // entryReadable applies Reader-item filtering to a view entry without
@@ -232,6 +250,13 @@ func (s *Session) entryReadable(e *view.Entry) bool {
 // barrier first waits for index maintenance to catch up, so the results
 // reflect every change committed before the call.
 func (s *Session) Search(query string) ([]ft.Result, error) {
+	return s.SearchCtx(context.Background(), query)
+}
+
+// SearchCtx is Search with cooperative cancellation: query evaluation
+// stops at a spent deadline instead of scoring postings for a caller that
+// has already given up.
+func (s *Session) SearchCtx(ctx context.Context, query string) ([]ft.Result, error) {
 	s.db.Refresh()
 	fti := s.db.FullText()
 	if fti == nil {
@@ -240,7 +265,7 @@ func (s *Session) Search(query string) ([]ft.Result, error) {
 	if s.id.Level < acl.Reader {
 		return nil, fmt.Errorf("%w: %s may not search", ErrAccessDenied, s.user)
 	}
-	hits, err := fti.Search(query)
+	hits, err := fti.SearchCtx(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -287,20 +312,32 @@ func (s *Session) All(fn func(*nsf.Note) bool) error {
 // design notes, documents the user may not read, and documents the formula
 // deselects are skipped without being counted.
 func (s *Session) ScanFrom(after nsf.NoteID, sel *formula.Formula, fn func(*nsf.Note) bool) error {
+	return s.ScanFromCtx(context.Background(), after, sel, fn)
+}
+
+// ScanFromCtx is ScanFrom with cooperative cancellation, checked both in
+// the store's batch loop and per candidate document here — a scan whose
+// formula deselects everything must still notice a spent deadline, even
+// though it never fills a page.
+func (s *Session) ScanFromCtx(ctx context.Context, after nsf.NoteID, sel *formula.Formula, fn func(*nsf.Note) bool) error {
 	if s.id.Level < acl.Reader {
 		return fmt.Errorf("%w: %s may not read", ErrAccessDenied, s.user)
 	}
-	var ctx *formula.Context
+	var fctx *formula.Context
 	if sel != nil {
-		ctx = s.db.evalContext(s.user)
+		fctx = s.db.evalContext(s.user)
 	}
 	var evalErr error
-	err := s.db.st.ScanFrom(after, func(n *nsf.Note) bool {
+	err := s.db.st.ScanFromCtx(ctx, after, func(n *nsf.Note) bool {
+		if cerr := ctx.Err(); cerr != nil {
+			evalErr = cerr
+			return false
+		}
 		if n.IsStub() || n.Class != nsf.ClassDocument || !s.id.CanRead(n) {
 			return true
 		}
 		if sel != nil {
-			ok, serr := sel.Selects(n, ctx)
+			ok, serr := sel.Selects(n, fctx)
 			if serr != nil {
 				evalErr = serr
 				return false
@@ -324,8 +361,18 @@ func (s *Session) ScanFrom(after nsf.NoteID, sel *formula.Formula, fn func(*nsf.
 // Reader filter Search applies — and hits whose document vanished or
 // became unreadable since indexing are dropped.
 func (s *Session) SearchJoined(query string, columns []string) ([]ft.HitSummary, error) {
-	hits, err := s.Search(query)
+	return s.SearchJoinedCtx(context.Background(), query, columns)
+}
+
+// SearchJoinedCtx is SearchJoined with cooperative cancellation (the
+// query evaluation checks the deadline; the join re-checks before loading
+// documents, the expensive half).
+func (s *Session) SearchJoinedCtx(ctx context.Context, query string, columns []string) ([]ft.HitSummary, error) {
+	hits, err := s.SearchCtx(ctx, query)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return ft.JoinSummaries(hits, columns, s.Get), nil

@@ -60,6 +60,18 @@ type Plan struct {
 	// Applying it on both directions of a connection pair yields
 	// RTT = 2 x Latency for a request/response exchange.
 	Latency time.Duration
+	// StallProb is the per-I/O probability the connection stalls: the
+	// operation — and every later one on the same connection — hangs
+	// without moving a byte until the connection's deadline expires
+	// (returning a Timeout() net.Error, like a real unanswered socket) or
+	// the connection is closed. Unlike a sever, the peer looks alive at
+	// the TCP layer; this is the failure mode that deadline budgets and
+	// hedged reads exist for, where a plain retry loop just hangs.
+	StallProb float64
+	// SlowPeer, when > 0, sleeps this long before every read and write —
+	// an overloaded-but-alive peer that answers everything, late. A
+	// deadline set on the connection still fires during the sleep.
+	SlowPeer time.Duration
 }
 
 // ParsePlan parses a comma-separated spec like
@@ -94,6 +106,10 @@ func ParsePlan(spec string) (Plan, error) {
 			p.SeverAfterBytes, err = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
 		case "latency":
 			p.Latency, err = time.ParseDuration(strings.TrimSpace(v))
+		case "stall":
+			p.StallProb, err = strconv.ParseFloat(strings.TrimSpace(v), 64)
+		case "slowpeer":
+			p.SlowPeer, err = time.ParseDuration(strings.TrimSpace(v))
 		default:
 			return p, fmt.Errorf("faultnet: unknown field %q", k)
 		}
@@ -112,6 +128,8 @@ type Stats struct {
 	Truncs    int64 // writes cut short then severed
 	Delays    int64 // delays injected
 	Latencies int64 // fixed per-burst latency sleeps injected
+	Stalls    int64 // I/O calls hung by a stalled connection
+	SlowIOs   int64 // I/O calls slowed by the SlowPeer knob
 	Conns     int64 // connections wrapped
 	IOBytes   int64 // bytes successfully transferred through wrapped conns
 	Disabled  bool  // whether injection is currently off
@@ -131,6 +149,8 @@ type Net struct {
 	truncs    atomic.Int64
 	delays    atomic.Int64
 	latencies atomic.Int64
+	stalls    atomic.Int64
+	slowIOs   atomic.Int64
 	conns     atomic.Int64
 	bytes     atomic.Int64
 }
@@ -159,6 +179,8 @@ func (f *Net) Stats() Stats {
 		Truncs:    f.truncs.Load(),
 		Delays:    f.delays.Load(),
 		Latencies: f.latencies.Load(),
+		Stalls:    f.stalls.Load(),
+		SlowIOs:   f.slowIOs.Load(),
 		Conns:     f.conns.Load(),
 		IOBytes:   f.bytes.Load(),
 		Disabled:  f.off.Load(),
@@ -198,7 +220,12 @@ func (f *Net) Wrap(c net.Conn) net.Conn {
 	// Independent per-connection stream: deterministic per (seed, ordinal)
 	// even when connections interleave.
 	seed := f.plan.Seed*1_000_003 + ord
-	return &conn{Conn: c, net: f, rng: rand.New(rand.NewSource(seed))}
+	return &conn{
+		Conn:    c,
+		net:     f,
+		rng:     rand.New(rand.NewSource(seed)),
+		closeCh: make(chan struct{}),
+	}
 }
 
 // Listener wraps a listener so accepted connections pass through the
@@ -242,23 +269,152 @@ type conn struct {
 	rng     *rand.Rand
 	moved   int64
 	severed bool
+	stalled bool
+	// readDL/writeDL mirror the deadlines set on the connection, so a
+	// stalled or slowed operation knows when to give up with a timeout
+	// (the underlying socket's deadline cannot interrupt our sleep).
+	readDL, writeDL time.Time
 	// lastWrite is when the previous Write ran, for latency burst
 	// coalescing (guarded by mu).
 	lastWrite time.Time
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *conn) deadline(isWrite bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if isWrite {
+		return c.writeDL
+	}
+	return c.readDL
+}
+
+// stallError is what a stalled (or deadline-interrupted slow) operation
+// returns once the connection's deadline passes. Timeout() is true, like
+// a real socket whose peer accepted the bytes but never answered.
+type stallError struct{}
+
+func (stallError) Error() string   { return "faultnet: stalled i/o timeout" }
+func (stallError) Timeout() bool   { return true }
+func (stallError) Temporary() bool { return true }
+
+func stallTimeoutErr(op string) error {
+	return &net.OpError{Op: op, Net: "faultnet", Err: stallError{}}
+}
+
+// stall hangs the calling operation until the connection's deadline
+// passes (timeout error) or the connection is closed (injected error),
+// polling the mirrored deadline in short steps so a deadline set after
+// the stall began is still honored promptly.
+func (c *conn) stall(isWrite bool) error {
+	c.net.stalls.Add(1)
+	op := "read"
+	if isWrite {
+		op = "write"
+	}
+	for {
+		wait := 25 * time.Millisecond
+		if dl := c.deadline(isWrite); !dl.IsZero() {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return stallTimeoutErr(op)
+			}
+			if rem < wait {
+				wait = rem
+			}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-c.closeCh:
+			t.Stop()
+			return injectedErr(op)
+		case <-t.C:
+		}
+	}
+}
+
+// slow applies the SlowPeer delay to one operation. If the connection's
+// deadline lands inside the delay, the sleep stops there and the
+// operation times out — a slow peer cannot suspend the caller's clock.
+func (c *conn) slow(isWrite bool) error {
+	d := c.net.plan.SlowPeer
+	if d <= 0 || c.net.off.Load() {
+		return nil
+	}
+	c.net.slowIOs.Add(1)
+	timedOut := false
+	if dl := c.deadline(isWrite); !dl.IsZero() {
+		if rem := time.Until(dl); rem < d {
+			d, timedOut = rem, true
+		}
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-c.closeCh:
+			t.Stop()
+			op := "read"
+			if isWrite {
+				op = "write"
+			}
+			return injectedErr(op)
+		case <-t.C:
+		}
+	}
+	if timedOut {
+		op := "read"
+		if isWrite {
+			op = "write"
+		}
+		return stallTimeoutErr(op)
+	}
+	return nil
 }
 
 // decide draws the fate of one I/O operation: a delay to apply first,
-// and whether to sever. truncAt >= 0 additionally truncates a write of
-// size n to truncAt bytes before severing.
-func (c *conn) decide(n int, isWrite bool) (delay time.Duration, sever bool, truncAt int) {
+// whether to sever, and whether to stall (sticky: once a connection
+// stalls, every later operation stalls too). truncAt >= 0 additionally
+// truncates a write of size n to truncAt bytes before severing.
+func (c *conn) decide(n int, isWrite bool) (delay time.Duration, sever, stall bool, truncAt int) {
 	truncAt = -1
 	if c.net.off.Load() {
-		return 0, false, -1
+		return 0, false, false, -1
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.severed {
-		return 0, true, -1
+		return 0, true, false, -1
+	}
+	if c.stalled {
+		return 0, false, true, -1
 	}
 	p := &c.net.plan
 	if p.DelayProb > 0 && c.rng.Float64() < p.DelayProb {
@@ -266,21 +422,28 @@ func (c *conn) decide(n int, isWrite bool) (delay time.Duration, sever bool, tru
 	}
 	if p.SeverAfterBytes > 0 && c.moved >= p.SeverAfterBytes {
 		c.severed = true
-		return delay, true, -1
+		return delay, true, false, -1
 	}
 	if c.rng.Float64() < p.SeverProb {
 		c.severed = true
-		return delay, true, -1
+		return delay, true, false, -1
+	}
+	if p.StallProb > 0 && c.rng.Float64() < p.StallProb {
+		c.stalled = true
+		return delay, false, true, -1
 	}
 	if isWrite && n > 1 && c.rng.Float64() < p.TruncProb {
 		c.severed = true
-		return delay, true, c.rng.Intn(n-1) + 1 // at least 1, at most n-1 bytes
+		return delay, true, false, c.rng.Intn(n-1) + 1 // at least 1, at most n-1 bytes
 	}
-	return delay, false, -1
+	return delay, false, false, -1
 }
 
 func (c *conn) Read(b []byte) (int, error) {
-	delay, sever, _ := c.decide(len(b), false)
+	if err := c.slow(false); err != nil {
+		return 0, err
+	}
+	delay, sever, stall, _ := c.decide(len(b), false)
 	if delay > 0 {
 		c.net.delays.Add(1)
 		time.Sleep(delay)
@@ -289,6 +452,9 @@ func (c *conn) Read(b []byte) (int, error) {
 		c.net.severs.Add(1)
 		c.Conn.Close()
 		return 0, injectedErr("read")
+	}
+	if stall {
+		return 0, c.stall(false)
 	}
 	n, err := c.Conn.Read(b)
 	c.account(n)
@@ -317,7 +483,10 @@ func (c *conn) Write(b []byte) (int, error) {
 			c.mu.Unlock()
 		}()
 	}
-	delay, sever, truncAt := c.decide(len(b), true)
+	if err := c.slow(true); err != nil {
+		return 0, err
+	}
+	delay, sever, stall, truncAt := c.decide(len(b), true)
 	if delay > 0 {
 		c.net.delays.Add(1)
 		time.Sleep(delay)
@@ -326,6 +495,9 @@ func (c *conn) Write(b []byte) (int, error) {
 		c.net.severs.Add(1)
 		c.Conn.Close()
 		return 0, injectedErr("write")
+	}
+	if stall {
+		return 0, c.stall(true)
 	}
 	if truncAt >= 0 {
 		c.net.truncs.Add(1)

@@ -1,0 +1,109 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestStallHangsUntilDeadline: a stalled connection looks alive at the TCP
+// layer but never answers; an I/O with a deadline set must return a
+// Timeout() net.Error roughly at the deadline, never a success.
+func TestStallHangsUntilDeadline(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 1, StallProb: 1})
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(80 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Write([]byte("into the void"))
+	elapsed := time.Since(start)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("stalled write returned %v, want a Timeout() net.Error", err)
+	}
+	if elapsed < 60*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("stalled write returned after %v, want ~80ms", elapsed)
+	}
+	// Sticky: the next operation stalls too.
+	c.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("read on a stalled connection succeeded")
+	}
+	if st := fn.Stats(); st.Stalls < 2 {
+		t.Errorf("stalls = %d, want >= 2", st.Stalls)
+	}
+}
+
+// TestStallUnblocksOnClose: closing a stalled connection releases the
+// hung operation immediately — a cancelled caller is never pinned for the
+// full deadline.
+func TestStallUnblocksOnClose(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 1, StallProb: 1})
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the write park in the stall
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("write on closed stalled conn succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock the stalled write")
+	}
+}
+
+// TestSlowPeerDelaysEveryIO: the SlowPeer knob taxes each operation with a
+// fixed delay but still completes it — the overloaded-but-alive mate.
+func TestSlowPeerDelaysEveryIO(t *testing.T) {
+	addr := echoServer(t, nil)
+	fn := New(Plan{Seed: 1, SlowPeer: 30 * time.Millisecond})
+	c, err := fn.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("slowly does it")
+	start := time.Now()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("write+read took %v, want >= 60ms (30ms tax each)", elapsed)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo = %q", got)
+	}
+	if st := fn.Stats(); st.SlowIOs < 2 {
+		t.Errorf("slowIOs = %d, want >= 2", st.SlowIOs)
+	}
+}
+
+// TestParsePlanStallKeys covers the new spec keys.
+func TestParsePlanStallKeys(t *testing.T) {
+	p, err := ParsePlan("stall=0.25,slowpeer=15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StallProb != 0.25 || p.SlowPeer != 15*time.Millisecond {
+		t.Errorf("plan = %+v, want stall 0.25 slowpeer 15ms", p)
+	}
+}

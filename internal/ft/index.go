@@ -2,6 +2,7 @@ package ft
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -116,6 +117,14 @@ type Result struct {
 // that normalizes to nothing (stopwords and punctuation only) matches no
 // documents rather than erroring; malformed queries still return errors.
 func (ix *Index) Search(query string) ([]Result, error) {
+	return ix.SearchCtx(context.Background(), query)
+}
+
+// SearchCtx is Search with cooperative cancellation: the deadline is
+// checked at every query-tree node and again before the ranking sort, so a
+// query whose budget expires mid-evaluation releases the index's read lock
+// promptly instead of scoring postings for a caller that already gave up.
+func (ix *Index) SearchCtx(ctx context.Context, query string) ([]Result, error) {
 	q, err := parseQuery(query)
 	if errors.Is(err, ErrEmptyQuery) {
 		return nil, nil
@@ -125,7 +134,13 @@ func (ix *Index) Search(query string) ([]Result, error) {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	scores := ix.eval(q)
+	scores, err := ix.evalCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]Result, 0, len(scores))
 	for unid, score := range scores {
 		out = append(out, Result{UNID: unid, Score: score, Readers: ix.docReaders[unid]})
@@ -137,6 +152,68 @@ func (ix *Index) Search(query string) ([]Result, error) {
 		return bytes.Compare(out[i].UNID[:], out[j].UNID[:]) < 0
 	})
 	return out, nil
+}
+
+// evalCtx walks the query tree like eval, checking the deadline at each
+// interior node. Leaf evaluation (one term or phrase's postings) runs
+// uninterrupted — it is bounded by a single posting list, while AND/OR/NOT
+// trees can multiply that work arbitrarily.
+func (ix *Index) evalCtx(ctx context.Context, q qnode) (map[nsf.UNID]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch q := q.(type) {
+	case qAnd:
+		l, err := ix.evalCtx(ctx, q.l)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return l, nil
+		}
+		r, err := ix.evalCtx(ctx, q.r)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[nsf.UNID]float64)
+		for unid, s := range l {
+			if s2, ok := r[unid]; ok {
+				out[unid] = s + s2
+			}
+		}
+		return out, nil
+	case qOr:
+		l, err := ix.evalCtx(ctx, q.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ix.evalCtx(ctx, q.r)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[nsf.UNID]float64, len(l)+len(r))
+		for unid, s := range l {
+			out[unid] = s
+		}
+		for unid, s := range r {
+			out[unid] += s
+		}
+		return out, nil
+	case qNot:
+		exclude, err := ix.evalCtx(ctx, q.x)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[nsf.UNID]float64)
+		for unid := range ix.docTerms {
+			if _, ok := exclude[unid]; !ok {
+				out[unid] = 0.1 // flat score: NOT carries no relevance signal
+			}
+		}
+		return out, nil
+	default:
+		return ix.eval(q), nil
+	}
 }
 
 // eval returns matching documents with scores.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/repl"
+	"repro/internal/retry"
 )
 
 // linkState is one scheduled link: its definition, its kick channel (hot
@@ -129,11 +130,7 @@ func (m *Mesh) nextDelay(ls *linkState, rng *rand.Rand) time.Duration {
 	if consec > 0 && !broken {
 		// Exponential backoff below the breaker threshold, capped at the
 		// cooldown: 1 failure doubles the wait, 2 quadruple it.
-		backoff := interval << uint(consec)
-		if backoff > cooldown {
-			backoff = cooldown
-		}
-		d = backoff
+		d = retry.Exp(interval, consec, cooldown)
 	}
 	if broken {
 		d = cooldown / 4 // poll the breaker clock, not the peer
@@ -141,7 +138,9 @@ func (m *Mesh) nextDelay(ls *linkState, rng *rand.Rand) time.Duration {
 	if d <= 0 {
 		d = m.opts.Interval
 	}
-	return d + time.Duration(rng.Int63n(int64(d)/4+1))
+	// One-sided jitter: rounds never fire early (minimum spacing holds),
+	// but peers sharing an interval de-phase.
+	return retry.JitterUp(rng, d, 0.25)
 }
 
 // breakerAllows reports whether a round may run now. An open breaker

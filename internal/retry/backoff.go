@@ -1,0 +1,80 @@
+// Package retry is the one jittered-exponential-backoff policy the whole
+// system shares. The wire client's reconnect ladder, the replication
+// mesh's per-link schedule, and the failover client's breaker cooldown
+// all grew their own copies of "double it, cap it, jitter it"; this
+// package replaces them with a single set of primitives so the shapes
+// stay consistent (and tunable) everywhere.
+package retry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Exp returns base << attempt capped at max. attempt is 0-based: attempt 0
+// returns base. Overflowed shifts and non-positive results cap at max, so
+// a pathological attempt count can never wrap into a zero or negative
+// delay.
+func Exp(base time.Duration, attempt int, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	if attempt >= 63 {
+		d = max
+	} else {
+		d = base << uint(attempt)
+	}
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// JitterUp spreads d one-sidedly into [d, d*(1+frac)]: the delay never
+// shrinks, so minimum spacing guarantees survive, but synchronized peers
+// de-phase. A nil rng uses the global source.
+func JitterUp(rng *rand.Rand, d time.Duration, frac float64) time.Duration {
+	span := int64(float64(d) * frac)
+	if span <= 0 {
+		return d
+	}
+	if rng == nil {
+		return d + time.Duration(rand.Int63n(span+1))
+	}
+	return d + time.Duration(rng.Int63n(span+1))
+}
+
+// JitterAround spreads d symmetrically into [d*(1-frac), d*(1+frac)):
+// the classic anti-stampede jitter for retry sleeps, where shrinking a
+// delay is as useful as stretching it. A nil rng uses the global source.
+func JitterAround(rng *rand.Rand, d time.Duration, frac float64) time.Duration {
+	span := int64(float64(d) * frac * 2)
+	if span <= 0 {
+		return d
+	}
+	base := d - time.Duration(span/2)
+	if rng == nil {
+		return base + time.Duration(rand.Int63n(span))
+	}
+	return base + time.Duration(rng.Int63n(span))
+}
+
+// Backoff is the standard retry-sleep policy: exponential from Base,
+// capped at Max, with ±50% jitter. The zero value is unusable; fill Base
+// and Max.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	// Rand seeds the jitter; nil uses the global source. Tests pass a
+	// seeded source for reproducible schedules.
+	Rand *rand.Rand
+}
+
+// Delay returns the sleep before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	return JitterAround(b.Rand, Exp(b.Base, attempt, b.Max), 0.5)
+}

@@ -39,7 +39,30 @@ type admissionState struct {
 	panics   atomic.Uint64
 	// ewmaUs is the per-request dispatch latency EWMA in microseconds.
 	ewmaUs atomic.Uint64
+	// dispatched counts requests that entered execution (admitted past
+	// admission control); with deadline budgets in play, dispatched minus
+	// client-acknowledged results is the server's wasted work.
+	dispatched atomic.Uint64
+	// deadlineSheds counts requests refused BEFORE execution because their
+	// carried budget could not survive the queue (DeadlineRefused);
+	// deadlineAborts counts ops cancelled mid-execution (DeadlineAborted).
+	deadlineSheds  atomic.Uint64
+	deadlineAborts atomic.Uint64
 }
+
+// admit verdicts.
+type admitVerdict int
+
+const (
+	// admitOK: an execution slot is held; the caller must release it.
+	admitOK admitVerdict = iota
+	// admitShed: pool full past the admit wait — classic StatusBusy.
+	admitShed
+	// admitDeadline: the request's own deadline budget cannot survive the
+	// queue; it was refused before executing (DeadlineRefused). Shedding
+	// it immediately beats queueing it to die.
+	admitDeadline
+)
 
 func (a *admissionState) init(opts Options) {
 	a.maxActive = opts.MaxInFlight
@@ -51,35 +74,73 @@ func (a *admissionState) init(opts Options) {
 }
 
 // admit claims an execution slot, waiting up to admitWait when the pool is
-// full. It returns false when the request must be shed.
-func (a *admissionState) admit() bool {
+// full. budget is the request's remaining deadline budget (0: none): a
+// request that could not survive the expected queue wait is refused
+// immediately (admitDeadline) instead of queued to die, and a budgeted
+// request never waits past its own budget.
+func (a *admissionState) admit(budget time.Duration) admitVerdict {
 	if a.sem == nil {
 		a.inflight.Add(1)
-		return true
+		return admitOK
 	}
 	select {
 	case a.sem <- struct{}{}:
 		a.inflight.Add(1)
-		return true
+		return admitOK
 	default:
 	}
 	if a.admitWait <= 0 {
 		a.sheds.Add(1)
-		return false
+		return admitShed
+	}
+	wait := a.admitWait
+	if budget > 0 {
+		if budget < a.queueEstimate() {
+			a.deadlineSheds.Add(1)
+			return admitDeadline
+		}
+		if budget < wait {
+			wait = budget
+		}
 	}
 	a.queued.Add(1)
-	t := time.NewTimer(a.admitWait)
+	t := time.NewTimer(wait)
 	defer t.Stop()
 	select {
 	case a.sem <- struct{}{}:
 		a.queued.Add(-1)
 		a.inflight.Add(1)
-		return true
+		return admitOK
 	case <-t.C:
 		a.queued.Add(-1)
+		if wait < a.admitWait {
+			// The budget-capped timer fired: the request's remaining time
+			// is spent, which is a deadline refusal, not a load shed.
+			a.deadlineSheds.Add(1)
+			return admitDeadline
+		}
 		a.sheds.Add(1)
-		return false
+		return admitShed
 	}
+}
+
+// queueEstimate guesses how long a newly queued request waits for a slot:
+// the latency EWMA scaled up by queue depth, floored at a quarter of the
+// admit wait (an optimistic server still should not promise instant slots
+// when its pool is full) and capped at the admit wait itself (past that
+// the request would be shed anyway).
+func (a *admissionState) queueEstimate() time.Duration {
+	est := time.Duration(a.ewmaUs.Load()) * time.Microsecond
+	if a.maxActive > 0 {
+		est = est * time.Duration(a.queued.Load()+int64(a.maxActive)) / time.Duration(a.maxActive)
+	}
+	if floor := a.admitWait / 4; est < floor {
+		est = floor
+	}
+	if est > a.admitWait {
+		est = a.admitWait
+	}
+	return est
 }
 
 // release returns the slot and folds the request's dispatch time into the
@@ -117,19 +178,29 @@ type Health struct {
 	Sheds uint64
 	// Panics counts handler panics recovered (each closed one connection).
 	Panics uint64
+	// Dispatched counts requests that entered execution. With budgets in
+	// play, Dispatched minus client-acked results is wasted work.
+	Dispatched uint64
+	// DeadlineSheds counts budget-carrying requests refused before
+	// execution; DeadlineAborts counts ops cancelled mid-execution.
+	DeadlineSheds  uint64
+	DeadlineAborts uint64
 }
 
 // Health returns the server's current availability snapshot.
 func (s *Server) Health() Health {
 	a := &s.admission
 	h := Health{
-		State:    wire.StateOpen,
-		Index:    s.AvailabilityIndex(),
-		InFlight: int(a.inflight.Load()),
-		Queued:   int(a.queued.Load()),
-		Latency:  time.Duration(a.ewmaUs.Load()) * time.Microsecond,
-		Sheds:    a.sheds.Load(),
-		Panics:   a.panics.Load(),
+		State:          wire.StateOpen,
+		Index:          s.AvailabilityIndex(),
+		InFlight:       int(a.inflight.Load()),
+		Queued:         int(a.queued.Load()),
+		Latency:        time.Duration(a.ewmaUs.Load()) * time.Microsecond,
+		Sheds:          a.sheds.Load(),
+		Panics:         a.panics.Load(),
+		Dispatched:     a.dispatched.Load(),
+		DeadlineSheds:  a.deadlineSheds.Load(),
+		DeadlineAborts: a.deadlineAborts.Load(),
 	}
 	if s.draining.Load() {
 		h.State = wire.StateRestricted

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/formula"
 	"repro/internal/nsf"
@@ -29,13 +31,33 @@ const (
 
 // pageBudget returns the row and byte caps for one bulk-read page. The
 // configured maxima are scaled by the availability index (100 → full size,
-// 0 → pageBudgetFloorPct%), then clamped to the floors; a client limit
-// smaller than the scaled row cap wins.
-func (s *Server) pageBudget(clientLimit int) (maxRows, maxBytes int) {
+// 0 → pageBudgetFloorPct%) and — when the request carries a deadline that
+// is nearly spent — by the remaining time budget, then clamped to the
+// floors; a client limit smaller than the scaled row cap wins. The
+// deadline scaling means a request arriving with little time left gets a
+// small page it can actually finish, instead of a large one it will abort
+// halfway through encoding.
+func (s *Server) pageBudget(ctx context.Context, clientLimit int) (maxRows, maxBytes int) {
 	avail := s.AvailabilityIndex()
 	scale := avail
 	if scale < pageBudgetFloorPct {
 		scale = pageBudgetFloorPct
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Under ref = 4x the latency target, shrink proportionally: a
+		// request with half of ref left gets at most half a page.
+		if ref := 4 * s.opts.TargetLatency; ref > 0 {
+			rem := time.Until(dl)
+			if rem < ref {
+				pct := int(rem * 100 / ref)
+				if pct < pageBudgetFloorPct {
+					pct = pageBudgetFloorPct
+				}
+				if pct < scale {
+					scale = pct
+				}
+			}
+		}
 	}
 	maxRows = s.opts.MaxPageRows * scale / 100
 	maxBytes = s.opts.MaxPageBytes * scale / 100
@@ -63,7 +85,7 @@ const (
 // The explicit kind byte distinguishes category headers from documents
 // structurally — a document rendering zero columns can no longer be
 // mistaken for a category.
-func (c *connState) viewRows(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) viewRows(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -74,8 +96,8 @@ func (c *connState) viewRows(d *wire.Dec) (*wire.Enc, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	maxRows, maxBytes := c.s.pageBudget(limit)
-	rows, total, err := hs.sess.RowsPage(name, start, maxRows)
+	maxRows, maxBytes := c.s.pageBudget(ctx, limit)
+	rows, total, err := hs.sess.RowsPageCtx(ctx, name, start, maxRows)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +169,7 @@ func decodeScanCursor(cursor []byte, server string) (nsf.NoteID, error) {
 // formula, limit, column names, cursor), response (kind-prefixed rows with
 // typed projected values, more, cursor). The formula is compiled per page —
 // compilation is cheap next to evaluating it over the page's documents.
-func (c *connState) scan(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) scan(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -173,11 +195,11 @@ func (c *connState) scan(d *wire.Dec) (*wire.Enc, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxRows, maxBytes := c.s.pageBudget(limit)
+	maxRows, maxBytes := c.s.pageBudget(ctx, limit)
 	resp := wire.NewResp(wire.OpScan, wire.StatusOK)
 	var last nsf.NoteID
 	sent, full := 0, false
-	err = hs.sess.ScanFrom(after, sel, func(n *nsf.Note) bool {
+	err = hs.sess.ScanFromCtx(ctx, after, sel, func(n *nsf.Note) bool {
 		if sent >= maxRows || (sent > 0 && len(resp.Bytes()) >= maxBytes) {
 			// A selected document exists past this page, so More is true
 			// even when the page filled exactly at the end of the store.
@@ -214,7 +236,7 @@ func (c *connState) scan(d *wire.Dec) (*wire.Enc, error) {
 // with IEEE-754 score bits and optional joined summary values, more, next).
 // Scores travel as Float64bits — the earlier fixed-point encoding wrapped
 // negative scores into huge positives.
-func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) search(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -230,11 +252,11 @@ func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	maxRows, maxBytes := c.s.pageBudget(limit)
+	maxRows, maxBytes := c.s.pageBudget(ctx, limit)
 	resp := wire.NewResp(wire.OpSearch, wire.StatusOK)
 	var total, sent int
 	if len(columns) == 0 {
-		hits, err := hs.sess.Search(query)
+		hits, err := hs.sess.SearchCtx(ctx, query)
 		if err != nil {
 			resp.Release()
 			return nil, err
@@ -255,7 +277,7 @@ func (c *connState) search(d *wire.Dec) (*wire.Enc, error) {
 			sent++
 		}
 	} else {
-		joined, err := hs.sess.SearchJoined(query, columns)
+		joined, err := hs.sess.SearchJoinedCtx(ctx, query, columns)
 		if err != nil {
 			resp.Release()
 			return nil, err

@@ -193,6 +193,9 @@ func (s *Server) RefreshCatalog() (int, error) {
 		n.SetNumber("Sheds", float64(h.Sheds))
 		n.SetNumber("PanicsRecovered", float64(h.Panics))
 		n.SetNumber("LatencyUs", float64(h.Latency.Microseconds()))
+		n.SetNumber("Dispatched", float64(h.Dispatched))
+		n.SetNumber("DeadlineSheds", float64(h.DeadlineSheds))
+		n.SetNumber("DeadlineAborts", float64(h.DeadlineAborts))
 	})
 	if err != nil {
 		return written, err

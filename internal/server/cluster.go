@@ -245,7 +245,8 @@ func (p *clusterPusher) run() {
 func (p *clusterPusher) deliver(ev clusterEvent) error {
 	if p.client == nil {
 		c, err := wire.DialOptions(p.mateAddr, p.server.opts.Name, p.server.opts.PeerSecret,
-			wire.Options{MaxRetries: -1, DialTimeout: 2 * time.Second})
+			wire.Options{MaxRetries: -1, DialTimeout: 2 * time.Second,
+				OpBudget: p.server.opts.PeerOpBudget})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -46,6 +47,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return // closed, broken, or idle past the deadline
 		}
+		// Strip the optional deadline-budget envelope: the rest of the
+		// loop (and every handler) sees the inner request, and responses
+		// echo the inner op. A malformed envelope is a framing violation.
+		budgetMs, payload, err := wire.SplitBudget(payload)
+		if err != nil {
+			return
+		}
+		budget := time.Duration(budgetMs) * time.Millisecond
 		if len(payload) == 0 {
 			return
 		}
@@ -73,15 +82,22 @@ func (s *Server) handleConn(conn net.Conn) {
 			// Authentication stays cheap and is never shed: a loaded
 			// server still answers hello so the client can read busy
 			// responses (with the index) and redirect.
-			resp = st.safeDispatch(op, wire.NewDec(payload[1:]))
+			resp = st.safeDispatch(op, budget, wire.NewDec(payload[1:]))
 		default:
-			if !s.admission.admit() {
+			switch s.admission.admit(budget) {
+			case admitShed:
 				resp = s.busyResp(op)
-				break
+			case admitDeadline:
+				// The carried budget cannot survive the queue: refuse now,
+				// provably before execution, so the client knows a retry
+				// elsewhere is safe.
+				resp = deadlineResp(op, wire.DeadlineRefused)
+			default:
+				s.admission.dispatched.Add(1)
+				start := time.Now()
+				resp = st.safeDispatch(op, budget, wire.NewDec(payload[1:]))
+				s.admission.release(time.Since(start))
 			}
-			start := time.Now()
-			resp = st.safeDispatch(op, wire.NewDec(payload[1:]))
-			s.admission.release(time.Since(start))
 		}
 		if resp == nil {
 			return // handler panicked; drop only this connection
@@ -101,7 +117,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // logged and counted, and the connection is closed by returning nil — the
 // rest of the server keeps serving. The response for a half-executed
 // request is unknowable, so nothing is written.
-func (c *connState) safeDispatch(op wire.Op, d *wire.Dec) (resp *wire.Enc) {
+func (c *connState) safeDispatch(op wire.Op, budget time.Duration, d *wire.Dec) (resp *wire.Enc) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.s.admission.panics.Add(1)
@@ -109,10 +125,21 @@ func (c *connState) safeDispatch(op wire.Op, d *wire.Dec) (resp *wire.Enc) {
 			resp = nil
 		}
 	}()
-	if hook := c.s.testPreDispatch; hook != nil {
-		hook(op)
+	// The carried budget becomes this op's context deadline: long-running
+	// handlers check it cooperatively and stop working the moment the
+	// caller's patience is provably spent. The clock starts here — before
+	// the test hook — so injected dispatch delays consume budget exactly
+	// like real ones.
+	ctx := context.Background()
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
 	}
-	return c.dispatch(op, d)
+	if hook := c.s.testPreDispatch; hook != nil {
+		hook(op, budget)
+	}
+	return c.dispatch(ctx, op, d)
 }
 
 // fail builds an error response.
@@ -120,9 +147,23 @@ func fail(op wire.Op, err error) *wire.Enc {
 	return wire.NewResp(op, wire.StatusError).Str(err.Error())
 }
 
-func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
+// deadlineResp builds a StatusDeadlineExceeded response. stage says
+// whether the op provably never ran (wire.DeadlineRefused) or was aborted
+// mid-execution and may have partially taken effect (wire.DeadlineAborted)
+// — the distinction the client's retry discipline hinges on.
+func deadlineResp(op wire.Op, stage byte) *wire.Enc {
+	return wire.NewResp(op, wire.StatusDeadlineExceeded).U8(stage)
+}
+
+func (c *connState) dispatch(ctx context.Context, op wire.Op, d *wire.Dec) *wire.Enc {
 	if c.user == "" && op != wire.OpHello {
 		return fail(op, errors.New("not authenticated"))
+	}
+	if ctx.Err() != nil {
+		// Spent before the handler ran (e.g. while queued behind the
+		// admission semaphore): still provably never executed.
+		c.s.admission.deadlineSheds.Add(1)
+		return deadlineResp(op, wire.DeadlineRefused)
 	}
 	var resp *wire.Enc
 	var err error
@@ -140,25 +181,25 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 	case wire.OpDeleteNote:
 		resp, err = c.deleteNote(d)
 	case wire.OpViewRows:
-		resp, err = c.viewRows(d)
+		resp, err = c.viewRows(ctx, d)
 	case wire.OpSearch:
-		resp, err = c.search(d)
+		resp, err = c.search(ctx, d)
 	case wire.OpScan:
-		resp, err = c.scan(d)
+		resp, err = c.scan(ctx, d)
 	case wire.OpReplicaID:
 		resp, err = c.replicaID(d)
 	case wire.OpSummaries:
-		resp, err = c.summaries(d)
+		resp, err = c.summaries(ctx, d)
 	case wire.OpFetch:
-		resp, err = c.fetch(d)
+		resp, err = c.fetch(ctx, d)
 	case wire.OpApply:
-		resp, err = c.apply(d)
+		resp, err = c.apply(ctx, d)
 	case wire.OpMailDeposit:
 		resp, err = c.mailDeposit(d)
 	case wire.OpDBInfo:
 		resp, err = c.dbInfo(d)
 	case wire.OpPutBatch:
-		resp, err = c.putBatch(d)
+		resp, err = c.putBatch(ctx, d)
 	case wire.OpMeshStatus:
 		resp, err = c.meshStatus(d)
 	case wire.OpMeshAdd:
@@ -169,6 +210,12 @@ func (c *connState) dispatch(op wire.Op, d *wire.Dec) *wire.Enc {
 		err = fmt.Errorf("unknown operation %#x", byte(op))
 	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The handler stopped cooperatively mid-execution: the op may
+			// have partially taken effect, and the client must know that.
+			c.s.admission.deadlineAborts.Add(1)
+			return deadlineResp(op, wire.DeadlineAborted)
+		}
 		var wm *wrongMateError
 		if errors.As(err, &wm) {
 			// Placement redirect: not an application error — the body
@@ -341,7 +388,12 @@ func (c *connState) replAccess(hs *handleState, needWrite bool) error {
 	return nil
 }
 
-func (c *connState) summaries(d *wire.Dec) (*wire.Enc, error) {
+// replChunk is how many notes/summaries replication handlers process
+// between cooperative deadline checks: small enough that an abort lands
+// within milliseconds, large enough to amortize the check away.
+const replChunk = 256
+
+func (c *connState) summaries(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -359,14 +411,23 @@ func (c *connState) summaries(d *wire.Dec) (*wire.Enc, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	resp := wire.NewResp(wire.OpSummaries, wire.StatusOK).U64(uint64(now)).U32(uint32(len(sums)))
-	for _, s := range sums {
+	for i, s := range sums {
+		if i%replChunk == replChunk-1 {
+			if err := ctx.Err(); err != nil {
+				resp.Release()
+				return nil, err
+			}
+		}
 		resp.Summary(s)
 	}
 	return resp, nil
 }
 
-func (c *connState) fetch(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) fetch(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -385,9 +446,23 @@ func (c *connState) fetch(d *wire.Dec) (*wire.Enc, error) {
 		return nil, err
 	}
 	peer := &repl.LocalPeer{DB: hs.db}
-	notes, err := peer.Fetch(unids)
-	if err != nil {
-		return nil, err
+	// Fetch in chunks with a deadline check between them, so a huge pull
+	// from an abandoned replicator stops instead of running to the end.
+	var notes []*nsf.Note
+	for len(unids) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := unids
+		if len(chunk) > replChunk {
+			chunk = chunk[:replChunk]
+		}
+		unids = unids[len(chunk):]
+		got, err := peer.Fetch(chunk)
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, got...)
 	}
 	resp := wire.NewResp(wire.OpFetch, wire.StatusOK).U32(uint32(len(notes)))
 	for _, n := range notes {
@@ -396,7 +471,7 @@ func (c *connState) fetch(d *wire.Dec) (*wire.Enc, error) {
 	return resp, nil
 }
 
-func (c *connState) apply(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) apply(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -413,9 +488,25 @@ func (c *connState) apply(d *wire.Dec) (*wire.Enc, error) {
 		return nil, err
 	}
 	peer := &repl.LocalPeer{DB: hs.db, Opts: repl.ApplyOptions{FieldMerge: c.s.opts.FieldMerge}}
-	stats, err := peer.Apply(notes)
-	if err != nil {
-		return nil, err
+	// Apply in chunks with deadline checks between them. A mid-batch abort
+	// leaves a prefix applied — safe, because replication applies are
+	// idempotent by the OID rules, and the aborted status tells the peer
+	// the batch did not complete.
+	var stats repl.ApplyStats
+	for len(notes) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := notes
+		if len(chunk) > replChunk {
+			chunk = chunk[:replChunk]
+		}
+		notes = notes[len(chunk):]
+		st, err := peer.Apply(chunk)
+		if err != nil {
+			return nil, err
+		}
+		stats.Add(st)
 	}
 	return wire.NewResp(wire.OpApply, wire.StatusOK).ApplyStats(stats), nil
 }
@@ -446,7 +537,7 @@ func (c *connState) dbInfo(d *wire.Dec) (*wire.Enc, error) {
 // re-sent after a reconnect applies exactly once. A partial failure is
 // reported as StatusOK with ok=0 so the client still learns the cursor
 // (how far the batch got) alongside the error.
-func (c *connState) putBatch(d *wire.Dec) (*wire.Enc, error) {
+func (c *connState) putBatch(ctx context.Context, d *wire.Dec) (*wire.Enc, error) {
 	hs, err := c.handle(d)
 	if err != nil {
 		return nil, err
@@ -476,12 +567,19 @@ func (c *connState) putBatch(d *wire.Dec) (*wire.Enc, error) {
 	for _, n := range fresh {
 		n.ID = 0 // note IDs are assigned by this server's store
 	}
-	applied, aerr := hs.sess.PutBatch(fresh)
+	applied, aerr := hs.sess.PutBatchCtx(ctx, fresh)
 	if skip+applied > 0 {
 		if last := base + uint64(skip+applied) - 1; last > cursor {
 			cursor = last
 			c.s.advancePutCursor(key, last)
 		}
+	}
+	if aerr != nil && errors.Is(aerr, context.DeadlineExceeded) {
+		// Budget spent mid-batch: the applied prefix is durable and the
+		// cursor above already covers it, so the client's re-sent batch
+		// (same key and base) dedups exactly — the aborted status merely
+		// tells it this attempt did not finish.
+		return nil, aerr
 	}
 	resp := wire.NewResp(wire.OpPutBatch, wire.StatusOK).
 		U64(cursor).U32(uint32(applied)).U32(uint32(skip))

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"path/filepath"
@@ -68,7 +69,7 @@ func TestDispatchSurvivesGarbage(t *testing.T) {
 		op := wire.Op(rng.Intn(40)) // includes ops beyond the defined range
 		body := make([]byte, rng.Intn(128))
 		rng.Read(body)
-		resp := st.dispatch(op, wire.NewDec(body))
+		resp := st.dispatch(context.Background(), op, wire.NewDec(body))
 		if resp == nil {
 			t.Fatalf("dispatch(%#x) returned nil response", byte(op))
 		}

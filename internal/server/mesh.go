@@ -63,7 +63,11 @@ func (s *Server) EnableMesh(opts mesh.Options) (*mesh.Mesh, error) {
 		if !ok {
 			return nil, fmt.Errorf("server: no address for peer %s", peer)
 		}
-		c, err := wire.Dial(addr, s.opts.Name, s.opts.PeerSecret)
+		// Every op in the replication session carries the peer budget, so a
+		// stalled mate fails the round instead of pinning it; the scheduler's
+		// backoff and breaker then take over.
+		c, err := wire.DialOptions(addr, s.opts.Name, s.opts.PeerSecret,
+			wire.Options{OpBudget: s.opts.PeerOpBudget})
 		if err != nil {
 			return nil, err
 		}

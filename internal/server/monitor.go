@@ -129,8 +129,9 @@ func (s *Server) MonitorReport() []string {
 	if h.State == wire.StateRestricted {
 		state = "RESTRICTED"
 	}
-	health := fmt.Sprintf("server: availability=%d state=%s inflight=%d queued=%d sheds=%d panics=%d",
-		h.Index, state, h.InFlight, h.Queued, h.Sheds, h.Panics)
+	health := fmt.Sprintf("server: availability=%d state=%s inflight=%d queued=%d sheds=%d panics=%d dispatched=%d deadline-sheds=%d deadline-aborts=%d",
+		h.Index, state, h.InFlight, h.Queued, h.Sheds, h.Panics,
+		h.Dispatched, h.DeadlineSheds, h.DeadlineAborts)
 	for _, mateName := range s.ClusterMates() {
 		health += fmt.Sprintf(" dropped[%s]=%d", mateName, s.DroppedByMate()[mateName])
 	}

@@ -92,6 +92,13 @@ type Options struct {
 	// closes as soon as its response crosses this, so no response frame can
 	// approach wire.MaxFrame no matter how wide the rows are. 0 uses 4 MiB.
 	MaxPageBytes int
+	// PeerOpBudget, when > 0, stamps a deadline budget on every operation
+	// this server issues to its peers — mesh replication rounds and
+	// cluster push deliveries — so one stalled peer cannot pin a
+	// replication session or a pusher goroutine indefinitely; the peer
+	// sheds or aborts the op when the budget is spent. 0 disables peer
+	// budgets (seed behaviour).
+	PeerOpBudget time.Duration
 }
 
 // Server is a running Domino-style server.
@@ -125,7 +132,7 @@ type Server struct {
 	onClusterDrop atomic.Value // of func(mate, dbPath string)
 	// testPreDispatch, when set by tests before Serve, runs at the top of
 	// every dispatched request — the hook for injecting panics and delays.
-	testPreDispatch func(op wire.Op)
+	testPreDispatch func(op wire.Op, budget time.Duration)
 
 	router *router.Router
 

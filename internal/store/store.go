@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -92,9 +93,9 @@ type Store struct {
 	gc              *commitGroup // non-nil when group commit is on
 	heap            *heap
 	cache           *noteCache // decoded-note cache; nil when disabled
-	byID            *btree // NoteID (4B BE)            -> RecordID (8B)
-	byUNID          *btree // UNID (16B)                -> NoteID (4B BE)
-	byMod           *btree // Modified (8B BE) + NoteID -> nil
+	byID            *btree     // NoteID (4B BE)            -> RecordID (8B)
+	byUNID          *btree     // UNID (16B)                -> NoteID (4B BE)
+	byMod           *btree     // Modified (8B BE) + NoteID -> nil
 	opts            Options
 	count           int // live notes (including stubs)
 	sinceCheckpoint int
@@ -644,8 +645,15 @@ func (s *Store) ScanModifiedSince(since nsf.Timestamp, fn func(*nsf.Note) bool) 
 // under a short read latch, notes are fetched in batches, fn runs with no
 // latch held, and concurrently deleted notes are skipped.
 func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
+	return s.ScanAllCtx(context.Background(), fn)
+}
+
+// ScanAllCtx is ScanAll with cooperative cancellation: the deadline is
+// checked between fetch batches, so a cancelled scan stops within one
+// scanBatch of work and never holds the read latch past the check.
+func (s *Store) ScanAllCtx(ctx context.Context, fn func(*nsf.Note) bool) error {
 	if s.opts.SerializeReads {
-		return s.scanAllSerialized(fn)
+		return s.scanAllSerialized(ctxGate(ctx, fn))
 	}
 	s.mu.RLock()
 	var ids []nsf.NoteID
@@ -657,7 +665,7 @@ func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
 	if err != nil {
 		return err
 	}
-	return s.fetchNotes(ids, fn)
+	return s.fetchNotesCtx(ctx, ids, fn)
 }
 
 // ScanFrom calls fn for every note with NoteID strictly greater than
@@ -668,16 +676,21 @@ func (s *Store) ScanAll(fn func(*nsf.Note) bool) error {
 // scan ops page with. (NoteIDs are per-copy: a cursor is meaningless
 // against another replica of the same database.)
 func (s *Store) ScanFrom(after nsf.NoteID, fn func(*nsf.Note) bool) error {
+	return s.ScanFromCtx(context.Background(), after, fn)
+}
+
+// ScanFromCtx is ScanFrom with cooperative cancellation; see ScanAllCtx.
+func (s *Store) ScanFromCtx(ctx context.Context, after nsf.NoteID, fn func(*nsf.Note) bool) error {
 	if after == 0 {
-		return s.ScanAll(fn)
+		return s.ScanAllCtx(ctx, fn)
 	}
 	if s.opts.SerializeReads {
-		return s.scanAllSerialized(func(n *nsf.Note) bool {
+		return s.scanAllSerialized(ctxGate(ctx, func(n *nsf.Note) bool {
 			if n.ID <= after {
 				return true
 			}
 			return fn(n)
-		})
+		}))
 	}
 	if after == ^nsf.NoteID(0) {
 		return nil
@@ -692,7 +705,22 @@ func (s *Store) ScanFrom(after nsf.NoteID, fn func(*nsf.Note) bool) error {
 	if err != nil {
 		return err
 	}
-	return s.fetchNotes(ids, fn)
+	return s.fetchNotesCtx(ctx, ids, fn)
+}
+
+// ctxGate wraps a scan callback so it stops (returning false) once ctx is
+// done, every scanBatch calls. Used on the serialized ablation paths, where
+// the exclusive latch is held for the whole scan: the gate bounds how long
+// a cancelled caller can keep writers stalled. The scan then returns nil,
+// not ctx's error — callers that care re-check ctx themselves.
+func ctxGate(ctx context.Context, fn func(*nsf.Note) bool) func(*nsf.Note) bool {
+	var seen int
+	return func(n *nsf.Note) bool {
+		if seen++; seen%scanBatch == 0 && ctx.Err() != nil {
+			return false
+		}
+		return fn(n)
+	}
 }
 
 // fetchNotes delivers the snapshot ID list to fn: each batch of notes is
@@ -700,8 +728,18 @@ func (s *Store) ScanFrom(after nsf.NoteID, fn func(*nsf.Note) bool) error {
 // re-enter the store (even to write) and a slow consumer never holds the
 // latch. IDs whose notes vanished since the snapshot are skipped.
 func (s *Store) fetchNotes(ids []nsf.NoteID, fn func(*nsf.Note) bool) error {
+	return s.fetchNotesCtx(context.Background(), ids, fn)
+}
+
+// fetchNotesCtx is fetchNotes with a deadline check before each batch's
+// latch acquisition: a cancelled scan returns ctx's error without fetching
+// or delivering the rest of the snapshot.
+func (s *Store) fetchNotesCtx(ctx context.Context, ids []nsf.NoteID, fn func(*nsf.Note) bool) error {
 	batch := make([]*nsf.Note, 0, scanBatch)
 	for len(ids) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		chunk := ids
 		if len(chunk) > scanBatch {
 			chunk = chunk[:scanBatch]

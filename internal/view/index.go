@@ -2,6 +2,7 @@ package view
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -256,7 +257,40 @@ func (ix *Index) Rows(allow func(*Entry) bool) []Row {
 // checks the returned total against its cursor. limit <= 0 means "to the
 // end"; start past the end returns an empty page.
 func (ix *Index) RowsRange(allow func(*Entry) bool, start, limit int) ([]Row, int) {
-	rows := ix.Rows(allow)
+	rows, total, _ := ix.RowsRangeCtx(context.Background(), allow, start, limit)
+	return rows, total
+}
+
+// rowsCtxStride is how many entries the render walk visits between deadline
+// checks. Small enough that a cancelled render releases the read lock in
+// microseconds, large enough that ctx.Err() stays off the per-entry path.
+const rowsCtxStride = 512
+
+// RowsRangeCtx is RowsRange with cooperative cancellation. The render walk
+// checks ctx every rowsCtxStride entries; once the deadline is spent the
+// remaining walk degenerates to cheap skips (no column rendering, no row
+// allocation) and the call returns ctx's error, so a paginated reader whose
+// budget expired mid-render releases the view's read lock promptly instead
+// of materializing thousands of rows for a caller that already gave up.
+func (ix *Index) RowsRangeCtx(ctx context.Context, allow func(*Entry) bool, start, limit int) ([]Row, int, error) {
+	var visited int
+	var ctxErr error
+	gated := func(e *Entry) bool {
+		if ctxErr != nil {
+			return false
+		}
+		if visited++; visited%rowsCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		return allow == nil || allow(e)
+	}
+	rows := ix.Rows(gated)
+	if ctxErr != nil {
+		return nil, 0, ctxErr
+	}
 	if n := len(rows); n > 0 && rows[n-1].GrandTotal {
 		rows = rows[:n-1]
 	}
@@ -271,7 +305,7 @@ func (ix *Index) RowsRange(allow func(*Entry) bool, start, limit int) ([]Row, in
 	if limit > 0 && start+limit < end {
 		end = start + limit
 	}
-	return rows[start:end], total
+	return rows[start:end], total, nil
 }
 
 // addTotals fills category rows with the sums of Totals columns over the

@@ -26,6 +26,13 @@ type AvailabilityInfo struct {
 // Restricted reports whether the server is refusing new work.
 func (a AvailabilityInfo) Restricted() bool { return a.State == StateRestricted }
 
+// DefaultProbeTimeout bounds one-shot pre-auth probes (availability,
+// resolve) when the caller passes no explicit timeout. It is deliberately
+// much smaller than the default OpTimeout: probes exist to notice stalled
+// mates, and a probe that waits 30s on a wedged socket defeats itself.
+// Configure per client via Options.ProbeTimeout.
+const DefaultProbeTimeout = 2 * time.Second
+
 // decAvailability parses the OpAvailability response body.
 func decAvailability(d *Dec) (AvailabilityInfo, error) {
 	info := AvailabilityInfo{
@@ -50,12 +57,12 @@ func (c *Client) Availability() (AvailabilityInfo, error) {
 
 // ProbeAvailability performs a one-shot, unauthenticated health probe: it
 // dials addr, issues OpAvailability, and closes. The whole probe is bounded
-// by timeout (<= 0 uses 2s). dialer nil dials plain TCP — failover clients
-// pass their fault-injection dialer so probes see the same network the
-// session does.
+// by timeout (<= 0 uses DefaultProbeTimeout). dialer nil dials plain TCP —
+// failover clients pass their fault-injection dialer so probes see the same
+// network the session does.
 func ProbeAvailability(addr string, dialer func(network, addr string) (net.Conn, error), timeout time.Duration) (AvailabilityInfo, error) {
 	if timeout <= 0 {
-		timeout = 2 * time.Second
+		timeout = DefaultProbeTimeout
 	}
 	if dialer == nil {
 		dialer = func(network, addr string) (net.Conn, error) {

@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nsf"
 	"repro/internal/repl"
+	"repro/internal/retry"
 )
 
 // protocolVersion is negotiated in the hello exchange. Version 2 replaced
@@ -37,6 +39,20 @@ type Options struct {
 	// Jitter seeds the backoff jitter; nil uses an unseeded source. Tests
 	// pass a seeded source for reproducible schedules.
 	Jitter *rand.Rand
+	// OpBudget, when positive, gives every operation an end-to-end time
+	// budget: the WHOLE operation — all retries, backoff sleeps, and
+	// reconnects included — must finish within it. The remaining budget is
+	// carried to the server in an OpBudget envelope (shrinking on every
+	// attempt, since the deadline is absolute client-side), so the server
+	// stops working the moment the caller's patience is spent instead of
+	// finishing results nobody will read. Zero disables budgets; OpTimeout
+	// still bounds each individual round trip either way.
+	OpBudget time.Duration
+	// ProbeTimeout bounds the pre-auth availability/resolve probes issued
+	// through this client's options (default 2s). Probes are how failover
+	// clients notice drained or stalled mates, so they must never inherit
+	// the much larger OpTimeout.
+	ProbeTimeout time.Duration
 	// Dialer replaces the TCP dialer, e.g. with a faultnet.Net.Dial for
 	// fault-injection tests. nil dials plain TCP with DialTimeout.
 	Dialer func(network, addr string) (net.Conn, error)
@@ -64,6 +80,9 @@ func (o Options) withDefaults() Options {
 	if o.Jitter == nil {
 		o.Jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = DefaultProbeTimeout
+	}
 	return o
 }
 
@@ -85,6 +104,22 @@ type Client struct {
 	closed bool
 	// dbs are the live remote handles to rebind after a reconnect.
 	dbs map[*RemoteDB]struct{}
+
+	// opDeadline is the absolute deadline of the operation in flight (zero:
+	// none). It is stamped by whoever owns the budget — withRetry from
+	// Options.OpBudget, or a FailoverClient spreading one user budget across
+	// mates via setOpDeadline — and every retry, backoff sleep, and wire
+	// envelope shrinks against it.
+	opDeadline time.Time
+	// budgetOwned marks that withRetry stamped opDeadline itself (vs
+	// adopting one from a failover client) and must clear it on return.
+	budgetOwned bool
+
+	// abandoned and liveConn support CancelInflight: severing an in-flight
+	// round trip from OUTSIDE the client lock (the lock is held for the
+	// whole op, so a hedge that won elsewhere could never take it).
+	abandoned atomic.Bool
+	liveConn  atomic.Value // connBox
 
 	// putKey names this client's pipelined-put session; putSeq numbers its
 	// batched operations. The server remembers, per (user, key, database),
@@ -142,6 +177,42 @@ func (c *Client) Close() error {
 // User returns the authenticated user name.
 func (c *Client) User() string { return c.user }
 
+// connBox wraps the live connection for atomic.Value (which cannot hold a
+// bare nil interface).
+type connBox struct{ conn net.Conn }
+
+// setOpDeadline adopts an absolute deadline for the next operations on
+// this client. A failover client uses it to spread ONE user budget across
+// mates: the deadline is set before each hop, so each hop's wire envelope
+// carries only what remains. Zero clears it.
+func (c *Client) setOpDeadline(t time.Time) {
+	c.mu.Lock()
+	c.opDeadline = t
+	c.budgetOwned = false
+	c.mu.Unlock()
+}
+
+// CancelInflight severs whatever round trip this client currently has in
+// flight, without taking the client lock (the in-flight op holds it). The
+// op fails with ErrAbandoned — a result nobody is waiting for anymore —
+// which callers must treat as neither retryable nor the mate's fault. It
+// is how a hedged read cancels the loser.
+func (c *Client) CancelInflight() {
+	c.abandoned.Store(true)
+	if box, ok := c.liveConn.Load().(connBox); ok && box.conn != nil {
+		box.conn.Close()
+	}
+}
+
+// budgetLeftLocked returns the time remaining on the active deadline, or
+// (0, false) when no deadline is set.
+func (c *Client) budgetLeftLocked() (time.Duration, bool) {
+	if c.opDeadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(c.opDeadline), true
+}
+
 // breakLocked abandons the current connection: it is closed immediately
 // (never leaked) and the next operation redials.
 func (c *Client) breakLocked() {
@@ -154,13 +225,18 @@ func (c *Client) breakLocked() {
 
 // backoffLocked sleeps the exponential-backoff delay for a retry attempt
 // (0-based), with ±50% jitter so synchronized clients don't stampede a
-// recovering server.
+// recovering server. An active deadline caps the sleep: burning the whole
+// remaining budget inside a backoff would guarantee the retry dies.
 func (c *Client) backoffLocked(attempt int) {
-	d := c.opts.BackoffBase << attempt
-	if d > c.opts.BackoffMax || d <= 0 {
-		d = c.opts.BackoffMax
+	d := retry.Backoff{Base: c.opts.BackoffBase, Max: c.opts.BackoffMax, Rand: c.opts.Jitter}.Delay(attempt)
+	if rem, ok := c.budgetLeftLocked(); ok {
+		if rem <= 0 {
+			return
+		}
+		if d > rem {
+			d = rem
+		}
 	}
-	d = d/2 + time.Duration(c.opts.Jitter.Int63n(int64(d)))
 	time.Sleep(d)
 }
 
@@ -179,6 +255,7 @@ func (c *Client) reconnectLocked() error {
 		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
+	c.liveConn.Store(connBox{conn: conn})
 	c.broken = false
 	hello := NewEnc(OpHello).U32(protocolVersion).Str(c.user).Str(c.secret)
 	_, err = c.doLocked(OpHello, hello)
@@ -235,10 +312,36 @@ func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
 	if c.conn == nil {
 		return nil, protoErrorf("no connection")
 	}
-	c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
-	payload, err := c.exchangeLocked(req)
+	connDL := time.Now().Add(c.opts.OpTimeout)
+	var budgetMs uint32
+	if rem, ok := c.budgetLeftLocked(); ok {
+		if rem <= 0 {
+			// Budget spent before anything was sent: provably never
+			// executed, and the connection is still healthy.
+			return nil, &DeadlineError{Op: op}
+		}
+		// Carry the REMAINING budget (this shrinks across retries and
+		// failover hops). The transport deadline gets a small grace past
+		// the budget so the server's own StatusDeadlineExceeded response
+		// can still arrive and tell us whether the op ran.
+		budgetMs = uint32((rem + time.Millisecond - 1) / time.Millisecond)
+		if budgetMs == 0 {
+			budgetMs = 1
+		}
+		if bdl := c.opDeadline.Add(deadlineGrace); bdl.Before(connDL) {
+			connDL = bdl
+		}
+	}
+	c.conn.SetDeadline(connDL)
+	payload, err := c.exchangeLocked(req, budgetMs)
 	if err != nil {
 		c.breakLocked()
+		if _, ok := c.budgetLeftLocked(); ok && !time.Now().Before(c.opDeadline) {
+			// The transport fault coincides with budget expiry (typically
+			// our own deadline cutting a stalled read): the request may
+			// have been received and executed, so the outcome is ambiguous.
+			return nil, &DeadlineError{Op: op, Ambiguous: true}
+		}
 		return nil, err
 	}
 	c.conn.SetDeadline(time.Time{})
@@ -269,6 +372,15 @@ func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
 		// request never executed. The connection stays healthy; only a
 		// failover client (which can switch mates) makes progress on this.
 		return nil, decWrongMate(op, d)
+	case StatusDeadlineExceeded:
+		// The server spent our budget. The stage byte says whether the op
+		// provably never ran (refused pre-execution, like a shed) or was
+		// aborted mid-flight (ambiguous). The connection stays healthy.
+		stage := d.U8()
+		if d.Err() != nil {
+			stage = DeadlineAborted
+		}
+		return nil, &DeadlineError{Op: op, Remote: true, Ambiguous: stage == DeadlineAborted}
 	default:
 		msg := d.Str()
 		if d.Err() != nil {
@@ -278,9 +390,21 @@ func (c *Client) doLocked(op Op, req *Enc) (*Dec, error) {
 	}
 }
 
-func (c *Client) exchangeLocked(req *Enc) ([]byte, error) {
-	if err := WriteFrame(c.conn, req.Bytes()); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+// deadlineGrace is how far past an op's budget the transport deadline
+// extends: long enough for the server's StatusDeadlineExceeded verdict to
+// arrive (it says whether the op ran), short enough that a truly stalled
+// mate still fails promptly.
+const deadlineGrace = 100 * time.Millisecond
+
+func (c *Client) exchangeLocked(req *Enc, budgetMs uint32) ([]byte, error) {
+	var werr error
+	if budgetMs > 0 {
+		werr = WriteBudgetFrame(c.conn, budgetMs, req.Bytes())
+	} else {
+		werr = WriteFrame(c.conn, req.Bytes())
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("wire: send: %w", werr)
 	}
 	payload, err := ReadFrame(c.conn)
 	if err != nil {
@@ -298,12 +422,36 @@ func (c *Client) exchangeLocked(req *Enc) ([]byte, error) {
 func (c *Client) withRetry(idempotent bool, fn func() error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Stamp the operation's absolute deadline if this client owns its own
+	// budget and no outer owner (a failover client) stamped one already.
+	if c.opDeadline.IsZero() && c.opts.OpBudget > 0 {
+		c.opDeadline = time.Now().Add(c.opts.OpBudget)
+		c.budgetOwned = true
+	}
+	if c.budgetOwned {
+		defer func() {
+			c.opDeadline = time.Time{}
+			c.budgetOwned = false
+		}()
+	}
+	// A cancel aimed at a PREVIOUS op (hedge raced our completion) must not
+	// poison this one; in-flight cancels are caught after fn below.
+	c.abandoned.Store(false)
 	for attempt := 0; ; attempt++ {
 		if c.closed {
 			return ErrClosed
 		}
+		if rem, ok := c.budgetLeftLocked(); ok && rem <= 0 && attempt > 0 {
+			// Out of budget between attempts. Every prior attempt ended in
+			// a provably-not-executed state (shed, refused, or a transport
+			// fault on an idempotent op), so this expiry is unambiguous.
+			return &DeadlineError{}
+		}
 		if c.conn == nil || c.broken {
 			if err := c.reconnectLocked(); err != nil {
+				if c.abandoned.Swap(false) {
+					return ErrAbandoned
+				}
 				if !Retryable(err) || attempt >= c.opts.MaxRetries {
 					return err
 				}
@@ -312,11 +460,25 @@ func (c *Client) withRetry(idempotent bool, fn func() error) error {
 			}
 		}
 		err := fn()
+		if c.abandoned.Swap(false) && err != nil {
+			// CancelInflight severed this round trip: the caller (a hedged
+			// read that won elsewhere) will discard whatever we return, and
+			// the mate did nothing wrong. Surface the sentinel instead of a
+			// transport fault so failover logic neither retries nor blames.
+			return ErrAbandoned
+		}
 		if err == nil {
 			return nil
 		}
 		var se *ServerError
 		if errors.As(err, &se) {
+			return err
+		}
+		var de *DeadlineError
+		if errors.As(err, &de) {
+			// Never auto-retried: the expired budget is the same budget a
+			// retry would run under, and an ambiguous expiry must reach
+			// the caller so non-idempotent ops aren't blindly re-sent.
 			return err
 		}
 		var be *BusyError

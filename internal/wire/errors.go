@@ -82,6 +82,49 @@ var ErrWrongMate = errors.New("wire: wrong mate")
 // Is lets errors.Is(err, ErrWrongMate) match placement redirects.
 func (e *WrongMateError) Is(target error) bool { return target == ErrWrongMate }
 
+// DeadlineError is a deadline-budget expiry (client- or server-side). The
+// Ambiguous flag is the whole point: an op whose budget expired BEFORE it
+// was sent (or that the server refused pre-execution) provably never ran,
+// but one cancelled mid-round-trip or mid-execution may have partially —
+// or, with only the response lost, fully — taken effect. Clients must
+// therefore never blindly re-send a non-idempotent op after an ambiguous
+// expiry; this is the opposite of a BusyError, which is always safe to
+// re-send. Deadline errors are never auto-retried at all: the budget that
+// expired is the same budget a retry would run under.
+type DeadlineError struct {
+	Op Op
+	// Ambiguous reports that the op may have (partially) executed.
+	Ambiguous bool
+	// Remote reports that the server diagnosed the expiry (vs the client
+	// exhausting the budget before or during the round trip).
+	Remote bool
+}
+
+func (e *DeadlineError) Error() string {
+	where := "client"
+	if e.Remote {
+		where = "server"
+	}
+	kind := "before execution (not executed)"
+	if e.Ambiguous {
+		kind = "mid-operation (may have executed)"
+	}
+	return fmt.Sprintf("wire: deadline exceeded at %s %s", where, kind)
+}
+
+// ErrDeadline matches any DeadlineError via errors.Is.
+var ErrDeadline = errors.New("wire: deadline exceeded")
+
+// Is lets errors.Is(err, ErrDeadline) match budget expiries.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// ErrAbandoned is returned by an operation severed out-of-band with
+// Client.CancelInflight: a hedged read won on another mate and nobody is
+// waiting for this one anymore. The mate is not at fault and the result —
+// had it arrived — would have been discarded, so the error is never
+// retried and never counts against a mate's breaker.
+var ErrAbandoned = errors.New("wire: operation abandoned (hedge won elsewhere)")
+
 // ErrClosed is returned by operations on a client after Close.
 var ErrClosed = errors.New("wire: client closed")
 

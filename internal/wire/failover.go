@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ft"
 	"repro/internal/nsf"
 	"repro/internal/repl"
+	"repro/internal/retry"
 )
 
 // FailoverClient is the cluster-aware client: it wraps the retry/redial
@@ -43,6 +45,25 @@ type FailoverOptions struct {
 	// MaxFailovers bounds mate switches within one operation
 	// (default 2 x number of mates).
 	MaxFailovers int
+	// HedgeReads enables hedged reads for idempotent single-shot
+	// operations (Get, ViewPage, SearchPage): when the connected mate has
+	// not answered after a delay derived from the observed latency
+	// distribution, the same read is issued to a second mate and the first
+	// response wins. The loser is cancelled through its propagated
+	// deadline/CancelInflight, so a stalled mate costs one hedge delay
+	// instead of a full timeout. Requires Client.OpBudget (the hedge rides
+	// the same budget).
+	HedgeReads bool
+	// HedgeDelay fixes the delay before the hedge fires. Zero derives it
+	// adaptively from the read-latency EWMA plus 3 x its mean deviation —
+	// a cheap stand-in for "past p99", so only genuinely slow reads hedge.
+	HedgeDelay time.Duration
+	// HedgeRateCap bounds hedging under cluster-wide load: every hedged-
+	// eligible read earns this many hedge tokens (bursting to 3) and each
+	// launched hedge spends one, so at most this fraction of reads hedge
+	// in steady state. When every mate is slow, hedging self-limits
+	// instead of doubling the cluster's load. Default 0.1.
+	HedgeRateCap float64
 }
 
 func (o FailoverOptions) withDefaults(mates int) FailoverOptions {
@@ -70,6 +91,9 @@ func (o FailoverOptions) withDefaults(mates int) FailoverOptions {
 			o.MaxFailovers = 2
 		}
 	}
+	if o.HedgeRateCap <= 0 {
+		o.HedgeRateCap = 0.1
+	}
 	return o
 }
 
@@ -82,11 +106,16 @@ const (
 // mate is one cluster member's address plus health bookkeeping. All fields
 // are guarded by FailoverClient.mu.
 type mate struct {
-	addr       string
-	name       string // cluster-mate name, learned from placement records
-	state      int
-	fails      int
-	openedAt   time.Time
+	addr     string
+	name     string // cluster-mate name, learned from placement records
+	state    int
+	fails    int
+	openedAt time.Time
+	// reopens counts how many times the breaker has opened since the last
+	// completed operation; each reopen doubles the cooldown (capped), so a
+	// mate that keeps failing its half-open probes gets probed ever less
+	// often instead of on a fixed beat.
+	reopens    int
 	avail      int // last known availability index; -1 unknown
 	restricted bool
 }
@@ -114,6 +143,10 @@ type FailoverStats struct {
 	Resolves uint64
 	// Probes is how many availability probes were sent.
 	Probes uint64
+	// Hedges is how many hedged reads were launched; HedgeWins how many
+	// were answered by the hedge mate before the primary.
+	Hedges    uint64
+	HedgeWins uint64
 }
 
 // FailoverClient holds a session that survives the death of individual
@@ -134,6 +167,28 @@ type FailoverClient struct {
 	// routeHint, while an operation on a specific database is in flight,
 	// biases connection attempts toward that database's home mates.
 	routeHint *FailoverDB
+
+	// Hedge state lives under its OWN lock: a primary read holds fc.mu for
+	// its whole round trip, so the hedge path must never touch fc.mu or it
+	// would deadlock behind the very stall it exists to escape.
+	hmu sync.Mutex
+	// hClient/hAddr/hDBs cache the hedge-side session and handles so a
+	// hedge is one round trip, not dial+auth+open+read.
+	hClient *Client
+	hAddr   string
+	hDBs    map[string]*RemoteDB
+	// hInFlight serializes hedges (one cancellable hedge op at a time).
+	hInFlight bool
+	// hTokens is the hedge-rate token bucket (see HedgeRateCap).
+	hTokens float64
+	// latEwmaUs/latDevUs track read latency (EWMA and mean deviation,
+	// microseconds) to derive the adaptive hedge delay.
+	latEwmaUs int64
+	latDevUs  int64
+	// hedges/hedgeWins are atomic (not under fc.mu) because the hedge path
+	// records them while a primary holds fc.mu.
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
 }
 
 // DialFailover connects to the best available mate and authenticates.
@@ -149,6 +204,7 @@ func DialFailover(addrs []string, user, secret string, opts FailoverOptions) (*F
 		secret: secret,
 		cur:    -1,
 		dbs:    make(map[*FailoverDB]struct{}),
+		hDBs:   make(map[string]*RemoteDB),
 	}
 	for _, a := range addrs {
 		fc.mates = append(fc.mates, &mate{addr: a, avail: -1})
@@ -161,8 +217,15 @@ func DialFailover(addrs []string, user, secret string, opts FailoverOptions) (*F
 	return fc, nil
 }
 
-// Close terminates the current connection.
+// Close terminates the current connection (and any cached hedge session).
 func (fc *FailoverClient) Close() error {
+	fc.hmu.Lock()
+	if fc.hClient != nil {
+		fc.hClient.Close()
+		fc.hClient = nil
+		fc.hDBs = make(map[string]*RemoteDB)
+	}
+	fc.hmu.Unlock()
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	fc.closed = true
@@ -186,7 +249,10 @@ func (fc *FailoverClient) Current() (string, bool) {
 func (fc *FailoverClient) Stats() FailoverStats {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
-	return fc.stats
+	st := fc.stats
+	st.Hedges = fc.hedges.Load()
+	st.HedgeWins = fc.hedgeWins.Load()
+	return st
 }
 
 // ProbeAll probes every mate's availability, updating the selection state,
@@ -226,9 +292,18 @@ func (fc *FailoverClient) markFailLocked(i int) {
 	if m.fails >= fc.opts.FailThreshold && m.state != breakerOpen {
 		m.state = breakerOpen
 		m.openedAt = time.Now()
+		m.reopens++
 	} else if m.state == breakerOpen {
 		m.openedAt = time.Now() // restart the cooldown
 	}
+}
+
+// cooldownLocked is how long mate m's open breaker waits before a
+// half-open probe: the configured Cooldown doubled per reopen (shared
+// retry.Exp shape), capped at 8x, so a persistently dead mate is probed on
+// a backing-off schedule rather than a fixed beat.
+func (fc *FailoverClient) cooldownLocked(m *mate) time.Duration {
+	return retry.Exp(fc.opts.Cooldown, m.reopens-1, 8*fc.opts.Cooldown)
 }
 
 // abandonLocked drops the current connection (if any).
@@ -256,7 +331,7 @@ func (fc *FailoverClient) candidatesLocked() []int {
 	now := time.Now()
 	for i, m := range fc.mates {
 		eligible := m.state == breakerClosed ||
-			(m.state == breakerOpen && now.Sub(m.openedAt) >= fc.opts.Cooldown)
+			(m.state == breakerOpen && now.Sub(m.openedAt) >= fc.cooldownLocked(m))
 		if eligible && !m.restricted {
 			healthy = append(healthy, i)
 		} else {
@@ -450,23 +525,74 @@ func (fc *FailoverClient) withFailover(idempotent bool, fn func() error) error {
 // withFailoverDB is withFailover with connection attempts biased toward
 // db's home mates (nil db means no bias).
 func (fc *FailoverClient) withFailoverDB(db *FailoverDB, idempotent bool, fn func() error) error {
+	return fc.withFailoverDeadline(db, idempotent, time.Time{}, fn)
+}
+
+// withFailoverDeadline is the failover loop with an absolute operation
+// deadline. A zero deadline is stamped from Client.OpBudget (when set), so
+// ONE user budget spans every mate switch and retry: each hop adopts the
+// same absolute deadline and its wire envelope carries only what remains.
+func (fc *FailoverClient) withFailoverDeadline(db *FailoverDB, idempotent bool, deadline time.Time, fn func() error) error {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	fc.routeHint = db
 	defer func() { fc.routeHint = nil }()
+	if deadline.IsZero() && fc.opts.Client.OpBudget > 0 {
+		deadline = time.Now().Add(fc.opts.Client.OpBudget)
+	}
+	if !deadline.IsZero() {
+		defer func() {
+			if fc.client != nil {
+				fc.client.setOpDeadline(time.Time{})
+			}
+		}()
+	}
 	for switches := 0; ; switches++ {
 		if fc.closed {
 			return ErrClosed
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) && switches > 0 {
+			// Budget spent between hops: every abandoned attempt ended in
+			// a provably-not-executed state (shed, redirect, refused) or
+			// was idempotent, so this expiry is unambiguous.
+			return &DeadlineError{}
 		}
 		if fc.client == nil {
 			if err := fc.connectLocked(); err != nil {
 				return err
 			}
 		}
+		if !deadline.IsZero() {
+			fc.client.setOpDeadline(deadline)
+		}
 		err := fn()
 		if err == nil {
-			fc.mates[fc.cur].fails = 0
+			m := fc.mates[fc.cur]
+			m.fails, m.reopens = 0, 0
 			return nil
+		}
+		if errors.Is(err, ErrAbandoned) {
+			// CancelInflight severed this op (a hedge won elsewhere). The
+			// mate did nothing wrong: no breaker damage, no failover — the
+			// caller is discarding this result anyway.
+			return err
+		}
+		var de *DeadlineError
+		if errors.As(err, &de) {
+			// The budget is spent; a failover hop would run on the same
+			// exhausted budget. Surface it — preserving the ambiguity
+			// verdict, which the caller needs for non-idempotent ops. A
+			// LOCAL mid-op expiry additionally means the transport died
+			// under the op (a stalled mate our own deadline had to cut),
+			// so count it against the mate: the breaker steers the NEXT
+			// operation elsewhere instead of feeding the stall another
+			// budget. A remote verdict or a pre-send refusal says nothing
+			// bad about the mate.
+			if !de.Remote && de.Ambiguous {
+				fc.markFailLocked(fc.cur)
+				fc.abandonLocked()
+			}
+			return err
 		}
 		var be *BusyError
 		if errors.As(err, &be) {
@@ -644,7 +770,14 @@ func (f *FailoverDB) Release() {
 // do runs one operation against the handle on whichever mate is current,
 // with connection attempts biased toward this database's home mates.
 func (f *FailoverDB) do(idempotent bool, fn func(r *RemoteDB) error) error {
-	return f.fc.withFailoverDB(f, idempotent, func() error {
+	return f.doDeadline(idempotent, time.Time{}, fn)
+}
+
+// doDeadline is do under an explicit absolute deadline (zero: stamp from
+// Client.OpBudget). Hedged reads pass the deadline they snapshotted, so
+// primary and hedge run out of the SAME budget.
+func (f *FailoverDB) doDeadline(idempotent bool, deadline time.Time, fn func(r *RemoteDB) error) error {
+	return f.fc.withFailoverDeadline(f, idempotent, deadline, func() error {
 		if f.stale != nil {
 			return f.stale
 		}
@@ -653,6 +786,295 @@ func (f *FailoverDB) do(idempotent bool, fn func(r *RemoteDB) error) error {
 		}
 		return fn(f.r)
 	})
+}
+
+// ---- hedged reads ----
+
+// hedgeBurst is the token-bucket depth for HedgeRateCap: short bursts of
+// hedges are fine, sustained hedging is capped at the configured fraction.
+const hedgeBurst = 3.0
+
+// hedgeDelayLocked derives the delay before a hedge fires (fc.hmu held):
+// the fixed HedgeDelay when configured, else latency EWMA + 3 x mean
+// deviation — reads slower than that are in the distribution's far tail,
+// which is exactly when a second mate is likely to answer first.
+func (fc *FailoverClient) hedgeDelayLocked() time.Duration {
+	if fc.opts.HedgeDelay > 0 {
+		return fc.opts.HedgeDelay
+	}
+	d := time.Duration(fc.latEwmaUs+3*fc.latDevUs) * time.Microsecond
+	const floor = 2 * time.Millisecond
+	if d < floor {
+		// Also the cold-start delay before any latency has been observed.
+		return floor
+	}
+	return d
+}
+
+// recordReadLatency folds one successful read's duration into the EWMA and
+// mean-deviation trackers (TCP-RTT-style gains: 1/8 and 1/4).
+func (fc *FailoverClient) recordReadLatency(d time.Duration) {
+	us := d.Microseconds()
+	fc.hmu.Lock()
+	if fc.latEwmaUs == 0 {
+		fc.latEwmaUs = us
+	} else {
+		diff := us - fc.latEwmaUs
+		fc.latEwmaUs += diff / 8
+		if diff < 0 {
+			diff = -diff
+		}
+		fc.latDevUs += (diff - fc.latDevUs) / 4
+	}
+	fc.hmu.Unlock()
+}
+
+// takeHedgeToken accrues HedgeRateCap tokens for an eligible read and
+// tries to spend one; false means the rate cap says no hedge this time.
+// It also claims the single hedge-in-flight slot.
+func (fc *FailoverClient) takeHedgeToken() bool {
+	fc.hmu.Lock()
+	defer fc.hmu.Unlock()
+	fc.hTokens += fc.opts.HedgeRateCap
+	if fc.hTokens > hedgeBurst {
+		fc.hTokens = hedgeBurst
+	}
+	if fc.hTokens < 1 || fc.hInFlight {
+		return false
+	}
+	fc.hTokens--
+	fc.hInFlight = true
+	return true
+}
+
+// hedgeExec runs one read against a cached second-mate session, bounded by
+// the same absolute deadline as the primary. alts lists acceptable hedge
+// addresses (never the primary's). Must be entered with the hedge-in-
+// flight slot held; it is released here.
+func (fc *FailoverClient) hedgeExec(path string, deadline time.Time, alts []string, fn func(r *RemoteDB) error) error {
+	defer func() {
+		fc.hmu.Lock()
+		fc.hInFlight = false
+		fc.hmu.Unlock()
+	}()
+	fc.hmu.Lock()
+	// Reuse the cached hedge session only while it points at an acceptable
+	// mate; a stale one (e.g. now the primary) is dropped.
+	ok := fc.hClient != nil
+	if ok {
+		ok = false
+		for _, a := range alts {
+			if a == fc.hAddr {
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok {
+		if fc.hClient != nil {
+			fc.hClient.Close()
+			fc.hClient = nil
+			fc.hDBs = make(map[string]*RemoteDB)
+		}
+		c, err := DialOptions(alts[0], fc.user, fc.secret, fc.opts.Client)
+		if err != nil {
+			fc.hmu.Unlock()
+			return err
+		}
+		fc.hClient, fc.hAddr = c, alts[0]
+	}
+	hc := fc.hClient
+	rdb := fc.hDBs[path]
+	fc.hmu.Unlock()
+	if rdb == nil {
+		r, err := hc.OpenDB(path)
+		if err != nil {
+			return err
+		}
+		fc.hmu.Lock()
+		if fc.hClient == hc {
+			fc.hDBs[path] = r
+		}
+		fc.hmu.Unlock()
+		rdb = r
+	}
+	hc.setOpDeadline(deadline)
+	err := fn(rdb)
+	hc.setOpDeadline(time.Time{})
+	if err != nil && Retryable(err) {
+		// Transport fault: the cached session is suspect; drop it so the
+		// next hedge dials fresh (possibly a different mate).
+		fc.hmu.Lock()
+		if fc.hClient == hc {
+			hc.Close()
+			fc.hClient = nil
+			fc.hDBs = make(map[string]*RemoteDB)
+		}
+		fc.hmu.Unlock()
+	}
+	return err
+}
+
+// hedgeCancel severs an in-flight hedge (the primary won).
+func (fc *FailoverClient) hedgeCancel() {
+	fc.hmu.Lock()
+	hc := fc.hClient
+	fc.hmu.Unlock()
+	if hc != nil {
+		hc.CancelInflight()
+	}
+}
+
+// hedgeSnapshot captures, under fc.mu, everything a hedged read needs
+// before launching its primary goroutine: the primary client (to cancel it
+// if the hedge wins), the operation deadline, and the alternate mate
+// addresses. ok is false when hedging cannot apply (no budget, no second
+// mate, no live session yet).
+func (fc *FailoverClient) hedgeSnapshot(db *FailoverDB) (pc *Client, deadline time.Time, alts []string, ok bool) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.closed || fc.client == nil || fc.cur < 0 || fc.opts.Client.OpBudget <= 0 {
+		return nil, time.Time{}, nil, false
+	}
+	deadline = time.Now().Add(fc.opts.Client.OpBudget)
+	cur := fc.mates[fc.cur].addr
+	// Candidate order honors breakers and availability; home-mate bias
+	// applies when the database is placed.
+	fc.routeHint = db
+	order := fc.candidatesLocked()
+	fc.routeHint = nil
+	for _, i := range order {
+		if a := fc.mates[i].addr; a != cur {
+			alts = append(alts, a)
+		}
+	}
+	if len(alts) == 0 {
+		return nil, time.Time{}, nil, false
+	}
+	return fc.client, deadline, alts, true
+}
+
+// hedgeResult carries one racer's outcome.
+type hedgeResult struct {
+	err   error
+	hedge bool
+}
+
+// hedgedRead runs fn as a hedged read: the primary mate gets a head start
+// of one hedge delay; if it has not answered by then (and the rate cap
+// allows), the same read runs against a second mate and the first success
+// wins. The loser is cancelled — via CancelInflight plus the propagated
+// deadline — so neither mate keeps working for a caller that already has
+// its answer. fn must be idempotent and must tolerate being called
+// concurrently on two different RemoteDBs; results are written through
+// only by the winner (the caller's closure must guard against tearing —
+// here each fn writes to its own locals and the winner's are copied out).
+func hedgedRead[T any](f *FailoverDB, fn func(r *RemoteDB) (T, error)) (T, error) {
+	fc := f.fc
+	var winner T
+	if !fc.opts.HedgeReads {
+		err := f.do(true, func(r *RemoteDB) error {
+			v, err := fn(r)
+			if err == nil {
+				winner = v
+			}
+			return err
+		})
+		return winner, err
+	}
+	pc, deadline, alts, ok := fc.hedgeSnapshot(f)
+	if !ok {
+		start := time.Now()
+		err := f.do(true, func(r *RemoteDB) error {
+			v, err := fn(r)
+			if err == nil {
+				winner = v
+			}
+			return err
+		})
+		if err == nil {
+			fc.recordReadLatency(time.Since(start))
+		}
+		return winner, err
+	}
+	ch := make(chan hedgeResult, 2)
+	var pv, hv T
+	start := time.Now()
+	go func() {
+		err := f.doDeadline(true, deadline, func(r *RemoteDB) error {
+			v, err := fn(r)
+			if err == nil {
+				pv = v
+			}
+			return err
+		})
+		ch <- hedgeResult{err: err}
+	}()
+	var hedgeLaunched bool
+	timer := time.NewTimer(func() time.Duration {
+		fc.hmu.Lock()
+		defer fc.hmu.Unlock()
+		return fc.hedgeDelayLocked()
+	}())
+	defer timer.Stop()
+	var first hedgeResult
+	select {
+	case first = <-ch:
+	case <-timer.C:
+		if fc.takeHedgeToken() {
+			hedgeLaunched = true
+			fc.hedges.Add(1)
+			go func() {
+				err := fc.hedgeExec(f.path, deadline, alts, func(r *RemoteDB) error {
+					v, err := fn(r)
+					if err == nil {
+						hv = v
+					}
+					return err
+				})
+				ch <- hedgeResult{err: err, hedge: true}
+			}()
+		}
+		first = <-ch
+	}
+	if !hedgeLaunched {
+		if first.err == nil {
+			fc.recordReadLatency(time.Since(start))
+			return pv, nil
+		}
+		return winner, first.err
+	}
+	// Two racers in flight. First success wins; the loser is severed so it
+	// stops consuming its mate.
+	if first.err == nil {
+		if first.hedge {
+			fc.hedgeWins.Add(1)
+			pc.CancelInflight()
+			// Drain the primary's (cancelled) result so the goroutine is
+			// done with fc.mu before we return; CancelInflight makes this
+			// prompt.
+			<-ch
+			return hv, nil
+		}
+		fc.recordReadLatency(time.Since(start))
+		fc.hedgeCancel()
+		return pv, nil
+	}
+	second := <-ch
+	if second.err == nil {
+		if second.hedge {
+			fc.hedgeWins.Add(1)
+			return hv, nil
+		}
+		fc.recordReadLatency(time.Since(start))
+		return pv, nil
+	}
+	// Both failed: prefer the primary's error (it carries failover context
+	// and ambiguity verdicts; the hedge was best-effort).
+	if first.hedge {
+		return winner, second.err
+	}
+	return winner, first.err
 }
 
 // ReplicaID implements repl.Peer.
@@ -702,15 +1124,12 @@ func (f *FailoverDB) Apply(notes []*nsf.Note) (repl.ApplyStats, error) {
 	return st, err
 }
 
-// Get fetches a note from whichever mate is current.
+// Get fetches a note from whichever mate is current. With HedgeReads on, a
+// slow mate is raced by a second one and the first answer wins.
 func (f *FailoverDB) Get(unid nsf.UNID) (*nsf.Note, error) {
-	var n *nsf.Note
-	err := f.do(true, func(r *RemoteDB) error {
-		var err error
-		n, err = r.Get(unid)
-		return err
+	return hedgedRead(f, func(r *RemoteDB) (*nsf.Note, error) {
+		return r.Get(unid)
 	})
-	return n, err
 }
 
 // Create stores a new document. Creation is not idempotent: a mid-trip
@@ -755,15 +1174,12 @@ func (f *FailoverDB) Search(query string) ([]ft.Result, error) {
 }
 
 // SearchPage runs one page of a full-text query, optionally pre-joining
-// summary columns, on the current mate.
+// summary columns, on the current mate (hedged when HedgeReads is on —
+// search pages address results by rank, valid on any mate).
 func (f *FailoverDB) SearchPage(query string, columns []string, start, limit int) (SearchPage, error) {
-	var p SearchPage
-	err := f.do(true, func(r *RemoteDB) error {
-		var err error
-		p, err = r.SearchPage(query, columns, start, limit)
-		return err
+	return hedgedRead(f, func(r *RemoteDB) (SearchPage, error) {
+		return r.SearchPage(query, columns, start, limit)
 	})
-	return p, err
 }
 
 // ViewRows renders a view on the current mate, paging through it. A mate
@@ -779,15 +1195,13 @@ func (f *FailoverDB) ViewRows(view string) ([]ViewRow, error) {
 	return rows, err
 }
 
-// ViewPage fetches one page of a rendered view from the current mate.
+// ViewPage fetches one page of a rendered view from the current mate
+// (hedged when HedgeReads is on — view pages address rows by index, valid
+// on any mate).
 func (f *FailoverDB) ViewPage(view string, start, limit int) (ViewPage, error) {
-	var p ViewPage
-	err := f.do(true, func(r *RemoteDB) error {
-		var err error
-		p, err = r.ViewPage(view, start, limit)
-		return err
+	return hedgedRead(f, func(r *RemoteDB) (ViewPage, error) {
+		return r.ViewPage(view, start, limit)
 	})
-	return p, err
 }
 
 // ScanPage runs one page of a bulk scan on the current mate. Scan cursors

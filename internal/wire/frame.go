@@ -45,6 +45,39 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// WriteBudgetFrame writes payload wrapped in an OpBudget envelope: one
+// frame whose body is [OpBudget][u32 budget-ms][payload]. The envelope is
+// prepended in the frame header write, so the inner request encoder is
+// not copied or modified.
+func WriteBudgetFrame(w io.Writer, budgetMs uint32, payload []byte) error {
+	total := len(payload) + 5
+	if total > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", total)
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(total))
+	hdr[4] = byte(OpBudget)
+	binary.LittleEndian.PutUint32(hdr[5:9], budgetMs)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// SplitBudget strips an OpBudget envelope from a request payload,
+// returning the carried budget (milliseconds) and the inner request.
+// Payloads that do not start with OpBudget pass through with budget 0.
+func SplitBudget(payload []byte) (budgetMs uint32, inner []byte, err error) {
+	if len(payload) == 0 || Op(payload[0]) != OpBudget {
+		return 0, payload, nil
+	}
+	if len(payload) < 6 {
+		return 0, nil, fmt.Errorf("wire: short budget envelope (%d bytes)", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload[1:5]), payload[5:], nil
+}
+
 // Op codes. A response echoes the request op with the high bit set.
 type Op byte
 
@@ -100,6 +133,20 @@ const (
 	// stopped instead of restarting. Page size is admission-aware: a loaded
 	// server serves smaller pages.
 	OpScan
+	// OpBudget is not a standalone operation but a request envelope: a
+	// client with a deadline wraps any request as
+	//
+	//	[OpBudget][u32 budget-ms][inner op][inner body...]
+	//
+	// where budget-ms is the caller's REMAINING time budget in
+	// milliseconds at send time. The client shrinks it across retries and
+	// failover hops (the deadline is absolute client-side), so a 2s user
+	// budget can never silently stretch to 2s x mates x retries. The
+	// server strips the envelope, derives a per-op context deadline from
+	// it, and answers with the INNER op echoed — the envelope is invisible
+	// in responses. A request whose budget cannot survive the admission
+	// queue, or that expires mid-execution, earns StatusDeadlineExceeded.
+	OpBudget
 )
 
 // respBit marks response frames.
@@ -120,6 +167,26 @@ const (
 	// encoding as OpResolve) so the client can re-route without an extra
 	// round trip.
 	StatusWrongMate
+	// StatusDeadlineExceeded: the request's carried budget (OpBudget
+	// envelope) ran out server-side. The one-byte body says at which
+	// stage: DeadlineRefused means the server saw the budget could not
+	// survive the admission queue (or was already spent on arrival) and
+	// refused before executing anything — provably-never-ran, like a busy
+	// shed; DeadlineAborted means the op was cancelled mid-execution and
+	// may have partially taken effect. The distinction matters for retry
+	// safety: an aborted write is AMBIGUOUS and must not be blindly
+	// re-sent, while a refused one merely has no time left.
+	StatusDeadlineExceeded
+)
+
+// Stages carried in a StatusDeadlineExceeded response body.
+const (
+	// DeadlineRefused: the budget expired (or could not survive the
+	// admission queue) before the server executed anything.
+	DeadlineRefused byte = 0
+	// DeadlineAborted: the op was cancelled mid-execution; it may have
+	// partially or — if only the response was lost — fully taken effect.
+	DeadlineAborted byte = 1
 )
 
 // Server admission states carried in availability and busy responses.

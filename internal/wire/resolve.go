@@ -93,7 +93,7 @@ func (c *Client) Placements() ([]ResolveInfo, error) {
 // the raw response decoder positioned at the record count.
 func resolveProbe(addr, path string, dialer func(network, addr string) (net.Conn, error), timeout time.Duration) (*Dec, error) {
 	if timeout <= 0 {
-		timeout = 2 * time.Second
+		timeout = DefaultProbeTimeout
 	}
 	if dialer == nil {
 		dialer = func(network, addr string) (net.Conn, error) {
